@@ -1,0 +1,87 @@
+// Why the formal properties matter, demonstrated numerically: run the DC
+// state estimator that the SCADA system feeds, under the exact contingencies
+// the analyzer predicts.
+//
+//   1. nominal delivery        -> the estimator recovers the grid state;
+//   2. a verified threat vector -> the estimator becomes unsolvable
+//      (observability loss, §III-C);
+//   3. bad data on a redundant vs a critical measurement -> detected vs
+//      silently swallowed (the r+1 requirement of §III-E).
+#include <cstdio>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/core/oracle.hpp"
+#include "scada/powersys/estimation.hpp"
+#include "scada/synth/generator.hpp"
+#include "scada/util/rng.hpp"
+
+int main() {
+  using namespace scada;
+
+  synth::SynthConfig config;
+  config.buses = 14;
+  config.measurement_fraction = 0.75;
+  config.seed = 11;
+  const core::ScadaScenario scenario = synth::generate_scenario(config);
+  const auto& model = scenario.model();
+
+  // Ground truth state and consistent sensor readings.
+  util::Rng rng(99);
+  std::vector<double> x_true(model.num_states(), 0.0);
+  for (std::size_t i = 1; i < x_true.size(); ++i) x_true[i] = (rng.uniform01() - 0.5) * 0.3;
+  const std::vector<double> z = powersys::synthesize_readings(model, x_true);
+
+  core::ScenarioOracle oracle(scenario);
+
+  // --- 1. nominal operation ---
+  {
+    const auto delivered = oracle.delivered(core::Contingency{});
+    const auto est = powersys::estimate_dc_state(model, delivered, z);
+    std::printf("nominal: estimator %s, max |state error| = %.2e rad\n",
+                est.solvable ? "solvable" : "UNSOLVABLE", [&] {
+                  double worst = 0.0;
+                  for (std::size_t i = 0; i < x_true.size(); ++i) {
+                    worst = std::max(worst, std::abs(est.state[i] - x_true[i]));
+                  }
+                  return worst;
+                }());
+  }
+
+  // --- 2. the analyzer's threat vector, executed ---
+  core::ScadaAnalyzer analyzer(scenario);
+  const auto verdict =
+      analyzer.verify(core::Property::Observability, core::ResiliencySpec::total(2));
+  if (!verdict.resilient() && verdict.threat) {
+    const auto contingency = verdict.threat->to_contingency();
+    const auto delivered = oracle.delivered(contingency);
+    const auto est = powersys::estimate_dc_state(model, delivered, z);
+    std::printf("threat %s executed: estimator %s — the formal 'sat' is a real outage\n",
+                verdict.threat->to_string().c_str(),
+                est.solvable ? "still solvable (?)" : "UNSOLVABLE");
+  } else {
+    std::printf("no threat within budget 2 — system unusually robust for this seed\n");
+  }
+
+  // --- 3. bad data: redundant vs critical coverage ---
+  {
+    const auto delivered = oracle.delivered(core::Contingency{});
+    auto corrupted = z;
+    // Pick a delivered measurement and corrupt it grossly.
+    std::size_t target = 0;
+    for (std::size_t i = 0; i < delivered.size(); ++i) {
+      if (delivered[i]) target = i;
+    }
+    corrupted[target] += 25.0;
+    const auto detection = powersys::detect_bad_data(model, delivered, corrupted);
+    std::printf(
+        "gross error on measurement %zu: %s (max normalized residual %.1f, "
+        "%zu critical measurements in the delivered set)\n",
+        target + 1, detection.detected ? "DETECTED" : "missed",
+        detection.max_normalized_residual, detection.critical.size());
+    if (detection.detected) {
+      std::printf("identified suspect: measurement %zu (%s)\n", detection.suspect + 1,
+                  detection.suspect == target ? "correct" : "incorrect");
+    }
+  }
+  return 0;
+}

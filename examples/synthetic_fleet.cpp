@@ -1,0 +1,55 @@
+// Fleet-scale what-if analysis on synthetic SCADA systems (the §V workload):
+// generate SCADA deployments for a 30-bus grid at several hierarchy levels
+// and compare their resiliency and threat spaces.
+//
+//   $ ./synthetic_fleet [buses] [seed]
+#include <cstdio>
+#include <cstdlib>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/synth/generator.hpp"
+#include "scada/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scada;
+
+  const int buses = argc > 1 ? std::atoi(argv[1]) : 30;
+  const std::uint64_t seed = argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 7;
+
+  util::TextTable table({"hierarchy", "IEDs", "RTUs", "links", "max k1 (IED)", "max k2 (RTU)",
+                         "threats @(1,1)", "solve model"});
+
+  for (int hierarchy = 1; hierarchy <= 3; ++hierarchy) {
+    synth::SynthConfig config;
+    config.buses = buses;
+    config.hierarchy_level = hierarchy;
+    config.measurement_fraction = 0.8;
+    config.seed = seed;
+    const core::ScadaScenario scenario = synth::generate_scenario(config);
+    const synth::SynthStats stats = synth::stats_of(scenario);
+
+    core::ScadaAnalyzer analyzer(scenario);
+    const auto max_ied = analyzer.max_resiliency(core::Property::Observability,
+                                                 core::FailureClass::IedOnly);
+    const auto max_rtu = analyzer.max_resiliency(core::Property::Observability,
+                                                 core::FailureClass::RtuOnly);
+    const auto threats = analyzer.enumerate_threats(core::Property::Observability,
+                                                    core::ResiliencySpec::per_type(1, 1), 256);
+    const auto verdict = analyzer.verify(core::Property::Observability,
+                                         core::ResiliencySpec::per_type(1, 1));
+
+    table.add_row({std::to_string(hierarchy), std::to_string(stats.ieds),
+                   std::to_string(stats.rtus), std::to_string(stats.links),
+                   std::to_string(max_ied.max_k), std::to_string(max_rtu.max_k),
+                   std::to_string(threats.size()),
+                   util::fmt_double(verdict.solve_seconds * 1e3, 1) + " ms"});
+  }
+
+  std::printf("synthetic SCADA fleet over a %d-bus grid (seed %llu)\n\n%s", buses,
+              static_cast<unsigned long long>(seed), table.to_text().c_str());
+  std::printf(
+      "\nHigher hierarchy levels concentrate more IEDs behind shared RTUs:\n"
+      "maximum tolerable RTU failures shrink and the threat space grows —\n"
+      "the effect the paper reports in Fig. 7(b).\n");
+  return 0;
+}

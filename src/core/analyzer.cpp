@@ -1,0 +1,220 @@
+#include "scada/core/analyzer.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "scada/util/error.hpp"
+#include "scada/util/timer.hpp"
+
+namespace scada::core {
+
+using smt::SolveResult;
+
+Contingency ThreatVector::to_contingency() const {
+  Contingency c;
+  c.failed_devices.insert(failed_ieds.begin(), failed_ieds.end());
+  c.failed_devices.insert(failed_rtus.begin(), failed_rtus.end());
+  c.failed_links.insert(failed_links.begin(), failed_links.end());
+  return c;
+}
+
+std::string ThreatVector::to_string() const {
+  const auto join = [](const std::vector<int>& ids) {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) out << ',';
+      out << ids[i];
+    }
+    return out.str();
+  };
+  std::string s = "{IEDs[" + join(failed_ieds) + "] RTUs[" + join(failed_rtus) + "]";
+  if (!failed_links.empty()) s += " Links[" + join(failed_links) + "]";
+  s += "}";
+  return s;
+}
+
+std::string VerificationResult::to_string() const {
+  std::string s = smt::to_string(result);
+  if (threat.has_value()) s += " threat=" + threat->to_string();
+  return s;
+}
+
+ScadaAnalyzer::ScadaAnalyzer(const ScadaScenario& scenario, AnalyzerOptions options)
+    : scenario_(scenario), options_(std::move(options)), oracle_(scenario, options_.encoder) {}
+
+ThreatVector ScadaAnalyzer::extract_threat(const ThreatEncoder& encoder,
+                                           const smt::Session& session) const {
+  ThreatVector v;
+  for (const int id : scenario_.ied_ids()) {
+    if (!session.value(encoder.node_var(id))) v.failed_ieds.push_back(id);
+  }
+  for (const int id : scenario_.rtu_ids()) {
+    if (!session.value(encoder.node_var(id))) v.failed_rtus.push_back(id);
+  }
+  if (options_.encoder.links_can_fail) {
+    for (const auto& link : scenario_.topology().links()) {
+      if (link.up && !session.value(encoder.link_var(link.id))) {
+        v.failed_links.push_back(link.id);
+      }
+    }
+  }
+  return v;
+}
+
+ThreatVector ScadaAnalyzer::minimize(Property property, const ResiliencySpec& spec,
+                                     ThreatVector threat) const {
+  // Greedy shrink against the oracle: drop any failure whose removal still
+  // violates the property. The result is a minimal (irreducible) vector.
+  const auto still_threat = [&](const ThreatVector& v) {
+    return !oracle_.holds(property, v.to_contingency(), spec.r);
+  };
+  if (!still_threat(threat)) {
+    // The solver said Sat, so the model must violate the property; if the
+    // oracle disagrees, the encoding and oracle have diverged — a bug.
+    throw ScadaError("internal: SMT threat vector rejected by the direct oracle");
+  }
+  const auto shrink = [&](std::vector<int>& ids, auto member) {
+    for (std::size_t i = 0; i < ids.size();) {
+      ThreatVector candidate = threat;
+      auto& list = candidate.*member;
+      list.erase(std::find(list.begin(), list.end(), ids[i]));
+      if (still_threat(candidate)) {
+        threat = std::move(candidate);
+        ids = threat.*member;
+      } else {
+        ++i;
+      }
+    }
+  };
+  std::vector<int> ieds = threat.failed_ieds;
+  shrink(ieds, &ThreatVector::failed_ieds);
+  std::vector<int> rtus = threat.failed_rtus;
+  shrink(rtus, &ThreatVector::failed_rtus);
+  std::vector<int> links = threat.failed_links;
+  shrink(links, &ThreatVector::failed_links);
+  return threat;
+}
+
+VerificationResult ScadaAnalyzer::verify(Property property, const ResiliencySpec& spec) {
+  VerificationResult out;
+  util::WallTimer encode_timer;
+  smt::FormulaBuilder builder;
+  ThreatEncoder encoder(scenario_, options_.encoder, builder);
+  const smt::Formula threat = encoder.threat(property, spec);
+  smt::Session session(builder, options_.solver);
+  session.assert_formula(threat);
+  out.encode_seconds = encode_timer.seconds();
+
+  out.result = session.solve();
+  out.solve_seconds = session.stats().last_solve_seconds;
+  if (out.result == SolveResult::Sat) {
+    ThreatVector v = extract_threat(encoder, session);
+    if (options_.minimize_threats) v = minimize(property, spec, v);
+    out.threat = std::move(v);
+  }
+  return out;
+}
+
+std::vector<ThreatVector> ScadaAnalyzer::enumerate_threats(Property property,
+                                                           const ResiliencySpec& spec,
+                                                           std::size_t max_vectors,
+                                                           bool minimal_only) {
+  smt::FormulaBuilder builder;
+  ThreatEncoder encoder(scenario_, options_.encoder, builder);
+  smt::Session session(builder, options_.solver);
+  session.assert_formula(encoder.threat(property, spec));
+
+  std::vector<ThreatVector> vectors;
+  while (vectors.size() < max_vectors && session.solve() == SolveResult::Sat) {
+    ThreatVector v = extract_threat(encoder, session);
+    if (minimal_only) {
+      v = minimize(property, spec, v);
+      // Block v and all its supersets: at least one member must survive.
+      std::vector<smt::Formula> block;
+      for (const int id : v.failed_ieds) block.push_back(encoder.node_var(id));
+      for (const int id : v.failed_rtus) block.push_back(encoder.node_var(id));
+      for (const int id : v.failed_links) block.push_back(encoder.link_var(id));
+      session.assert_formula(builder.mk_or(block));
+    } else {
+      // Block exactly this failure assignment.
+      std::vector<smt::Formula> diff;
+      const Contingency c = v.to_contingency();
+      for (const int id : scenario_.ied_ids()) {
+        const smt::Formula node = encoder.node_var(id);
+        diff.push_back(c.device_up(id) ? builder.mk_not(node) : node);
+      }
+      for (const int id : scenario_.rtu_ids()) {
+        const smt::Formula node = encoder.node_var(id);
+        diff.push_back(c.device_up(id) ? builder.mk_not(node) : node);
+      }
+      if (options_.encoder.links_can_fail) {
+        for (const auto& link : scenario_.topology().links()) {
+          if (!link.up) continue;
+          const smt::Formula lv = encoder.link_var(link.id);
+          diff.push_back(c.link_up(link.id) ? builder.mk_not(lv) : lv);
+        }
+      }
+      session.assert_formula(builder.mk_or(diff));
+    }
+    vectors.push_back(std::move(v));
+  }
+  return vectors;
+}
+
+MaxResiliencyResult ScadaAnalyzer::max_resiliency(Property property, FailureClass failure_class,
+                                                  int spec_r) {
+  const int limit = [&] {
+    switch (failure_class) {
+      case FailureClass::IedOnly: return static_cast<int>(scenario_.ied_ids().size());
+      case FailureClass::RtuOnly: return static_cast<int>(scenario_.rtu_ids().size());
+      case FailureClass::Combined:
+        return static_cast<int>(scenario_.ied_ids().size() + scenario_.rtu_ids().size());
+    }
+    return 0;
+  }();
+
+  // Incremental search: the (expensive) ¬property encoding is built and
+  // asserted once; each budget is attached to a fresh selector variable and
+  // activated per solve() via assumptions, so solver state (and, on the
+  // CDCL backend, learned clauses) carries across probes.
+  smt::FormulaBuilder builder;
+  ThreatEncoder encoder(scenario_, options_.encoder, builder);
+  smt::Session session(builder, options_.solver);
+
+  smt::Formula prop = builder.mk_false();
+  switch (property) {
+    case Property::Observability: prop = encoder.observability(); break;
+    case Property::SecuredObservability: prop = encoder.secured_observability(); break;
+    case Property::BadDataDetectability:
+      prop = encoder.bad_data_detectability(spec_r);
+      break;
+  }
+  session.assert_formula(builder.mk_not(prop));
+
+  MaxResiliencyResult out;
+  for (int k = 0; k <= limit; ++k) {
+    const ResiliencySpec spec = [&] {
+      switch (failure_class) {
+        case FailureClass::IedOnly: return ResiliencySpec::per_type(k, 0, spec_r);
+        case FailureClass::RtuOnly: return ResiliencySpec::per_type(0, k, spec_r);
+        case FailureClass::Combined: return ResiliencySpec::total(k, spec_r);
+      }
+      throw ConfigError("unknown failure class");
+    }();
+    const smt::Formula selector = builder.mk_var("budget_sel_" + std::to_string(k));
+    session.assert_formula(builder.mk_implies(selector, encoder.failure_budget(spec)));
+    ++out.probes;
+    const SolveResult r = session.solve({selector});
+    if (r == SolveResult::Unknown) {
+      throw SolverError("max_resiliency: solver returned unknown at k=" + std::to_string(k));
+    }
+    if (r == SolveResult::Sat) {
+      out.max_k = k - 1;
+      return out;
+    }
+  }
+  out.max_k = limit;  // resilient to every possible failure count
+  return out;
+}
+
+}  // namespace scada::core

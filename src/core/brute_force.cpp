@@ -1,0 +1,109 @@
+#include "scada/core/brute_force.hpp"
+
+#include <algorithm>
+
+#include "scada/util/combinatorics.hpp"
+#include "scada/util/timer.hpp"
+
+namespace scada::core {
+
+BruteForceVerifier::BruteForceVerifier(const ScadaScenario& scenario, EncoderOptions options)
+    : scenario_(scenario), oracle_(scenario, options) {}
+
+bool BruteForceVerifier::within_budget(const ThreatVector& v, const ResiliencySpec& spec) const {
+  if (spec.k_total.has_value() &&
+      static_cast<int>(v.failed_ieds.size() + v.failed_rtus.size()) > *spec.k_total) {
+    return false;
+  }
+  if (spec.k_ied.has_value() && static_cast<int>(v.failed_ieds.size()) > *spec.k_ied) {
+    return false;
+  }
+  if (spec.k_rtu.has_value() && static_cast<int>(v.failed_rtus.size()) > *spec.k_rtu) {
+    return false;
+  }
+  return true;
+}
+
+VerificationResult BruteForceVerifier::verify(Property property,
+                                              const ResiliencySpec& spec) const {
+  util::WallTimer timer;
+  VerificationResult out;
+  out.result = smt::SolveResult::Unsat;
+
+  // Candidate pool: all field devices; subsets ordered by size, so the first
+  // hit is a smallest threat vector.
+  std::vector<int> pool = scenario_.ied_ids();
+  pool.insert(pool.end(), scenario_.rtu_ids().begin(), scenario_.rtu_ids().end());
+  const std::size_t max_size = [&]() -> std::size_t {
+    std::size_t m = 0;
+    if (spec.k_total) m = static_cast<std::size_t>(std::max(0, *spec.k_total));
+    if (spec.k_ied || spec.k_rtu) {
+      const auto k1 = static_cast<std::size_t>(std::max(0, spec.k_ied.value_or(0)));
+      const auto k2 = static_cast<std::size_t>(std::max(0, spec.k_rtu.value_or(0)));
+      m = std::max(m, k1 + k2);
+    }
+    return std::min(m, pool.size());
+  }();
+
+  util::for_each_subset_up_to(pool.size(), max_size, [&](const std::vector<std::size_t>& subset) {
+    ThreatVector v;
+    for (const std::size_t i : subset) {
+      const int id = pool[i];
+      const bool is_ied = std::binary_search(scenario_.ied_ids().begin(),
+                                             scenario_.ied_ids().end(), id);
+      (is_ied ? v.failed_ieds : v.failed_rtus).push_back(id);
+    }
+    if (!within_budget(v, spec)) return true;  // keep searching
+    if (!oracle_.holds(property, v.to_contingency(), spec.r)) {
+      out.result = smt::SolveResult::Sat;
+      out.threat = std::move(v);
+      return false;  // stop
+    }
+    return true;
+  });
+
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+std::vector<ThreatVector> BruteForceVerifier::enumerate_threats(
+    Property property, const ResiliencySpec& spec) const {
+  std::vector<int> pool = scenario_.ied_ids();
+  pool.insert(pool.end(), scenario_.rtu_ids().begin(), scenario_.rtu_ids().end());
+  const std::size_t max_size = [&]() -> std::size_t {
+    std::size_t m = 0;
+    if (spec.k_total) m = static_cast<std::size_t>(std::max(0, *spec.k_total));
+    if (spec.k_ied || spec.k_rtu) {
+      m = std::max(m, static_cast<std::size_t>(std::max(0, spec.k_ied.value_or(0))) +
+                          static_cast<std::size_t>(std::max(0, spec.k_rtu.value_or(0))));
+    }
+    return std::min(m, pool.size());
+  }();
+
+  std::vector<ThreatVector> threats;
+  util::for_each_subset_up_to(pool.size(), max_size, [&](const std::vector<std::size_t>& subset) {
+    ThreatVector v;
+    for (const std::size_t i : subset) {
+      const int id = pool[i];
+      const bool is_ied = std::binary_search(scenario_.ied_ids().begin(),
+                                             scenario_.ied_ids().end(), id);
+      (is_ied ? v.failed_ieds : v.failed_rtus).push_back(id);
+    }
+    if (!within_budget(v, spec)) return true;
+    if (oracle_.holds(property, v.to_contingency(), spec.r)) return true;
+    // Minimality: no already-found threat may be a subset of v (size order
+    // guarantees found threats are never larger).
+    const Contingency c = v.to_contingency();
+    for (const ThreatVector& prior : threats) {
+      const Contingency pc = prior.to_contingency();
+      const bool subset_of_v = std::includes(c.failed_devices.begin(), c.failed_devices.end(),
+                                             pc.failed_devices.begin(), pc.failed_devices.end());
+      if (subset_of_v) return true;  // v is a superset of a known threat
+    }
+    threats.push_back(std::move(v));
+    return true;
+  });
+  return threats;
+}
+
+}  // namespace scada::core

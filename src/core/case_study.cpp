@@ -1,0 +1,97 @@
+#include "scada/core/case_study.hpp"
+
+namespace scada::core {
+
+using powersys::JacobianMatrix;
+using powersys::MeasurementModel;
+using scadanet::CryptoRuleRegistry;
+using scadanet::CryptoSuite;
+using scadanet::Device;
+using scadanet::DeviceType;
+using scadanet::Link;
+using scadanet::ScadaTopology;
+using scadanet::SecurityPolicy;
+
+JacobianMatrix case_study_jacobian() {
+  // 14 measurements x 5 states. Susceptances are 1/x of the IEEE 14-bus
+  // lines among buses 1-5 (16.9, 4.48, 5.05, 5.67, 5.75, 5.85, 23.75);
+  // injection diagonals keep the full-system terms (hence 41.85 at bus 4 and
+  // 37.95 at bus 5, which include the out-of-subsystem lines 4-7, 4-9, 5-6),
+  // matching the legible fragments of Table II.
+  return JacobianMatrix::from_rows({
+      /* m1  flow 3->2 */ {0, -5.05, 5.05, 0, 0},
+      /* m2  flow 4->2 */ {0, -5.67, 0, 5.67, 0},
+      /* m3  flow 5->2 */ {0, -5.75, 0, 0, 5.75},
+      /* m4  flow 5->4 */ {0, 0, 0, -23.75, 23.75},
+      /* m5  flow 1->2 */ {16.9, -16.9, 0, 0, 0},
+      /* m6  flow 3->4 */ {0, 0, 5.85, -5.85, 0},
+      /* m7  flow 4->5 */ {0, 0, 0, 23.75, -23.75},
+      /* m8  flow 4->3 */ {0, 0, -5.85, 5.85, 0},
+      /* m9  flow 1->5 */ {4.48, 0, 0, 0, -4.48},
+      /* m10 flow 2->1 */ {-16.9, 16.9, 0, 0, 0},
+      /* m11 inj 2     */ {-16.9, 33.37, -5.05, -5.67, -5.75},
+      /* m12 inj 3     */ {0, -5.05, 10.9, -5.85, 0},
+      /* m13 inj 4     */ {0, -5.67, -5.85, 41.85, -23.75},
+      /* m14 inj 5     */ {-4.48, -5.75, 0, -23.75, 37.95},
+  });
+}
+
+ScadaScenario make_case_study(CaseStudyTopology topology) {
+  std::vector<Device> devices;
+  for (int id = 1; id <= 8; ++id) devices.push_back({.id = id, .type = DeviceType::Ied});
+  for (int id = 9; id <= 12; ++id) devices.push_back({.id = id, .type = DeviceType::Rtu});
+  devices.push_back({.id = 13, .type = DeviceType::Mtu});
+  devices.push_back({.id = 14, .type = DeviceType::Router});
+
+  // Table II: 13 communication links; Fig. 4 replaces RTU9's router uplink
+  // with a direct RTU9-RTU12 connection.
+  std::vector<Link> links = {
+      {1, 1, 9},  {2, 2, 9},  {3, 3, 9},  {4, 4, 10},  {5, 5, 11},   {6, 6, 11}, {7, 7, 12},
+      {8, 8, 12}, {9, 9, 14}, {10, 10, 11}, {11, 11, 14}, {12, 12, 14}, {13, 13, 14},
+  };
+  if (topology == CaseStudyTopology::Fig4) {
+    links[8] = Link{9, 9, 12};  // RTU9 -> RTU12 instead of RTU9 -> router
+  }
+
+  // Table II security profiles per communicating pair. The IED1-RTU9 and
+  // RTU10-RTU11 hops only carry hmac (authentication without integrity) —
+  // the weakness scenario 2 exposes.
+  SecurityPolicy policy;
+  policy.set_pair_suites(1, 9, {{"hmac", 128}});
+  policy.set_pair_suites(2, 9, {{"chap", 64}, {"sha2", 128}});
+  policy.set_pair_suites(3, 9, {{"chap", 64}, {"sha2", 128}});
+  policy.set_pair_suites(4, 10, {{"chap", 64}, {"sha2", 128}});
+  policy.set_pair_suites(5, 11, {{"chap", 64}, {"sha2", 256}});
+  policy.set_pair_suites(6, 11, {{"chap", 64}, {"sha2", 256}});
+  policy.set_pair_suites(7, 12, {{"chap", 64}, {"sha2", 128}});
+  policy.set_pair_suites(8, 12, {{"chap", 64}, {"sha2", 128}});
+  policy.set_pair_suites(10, 11, {{"hmac", 128}});
+  policy.set_pair_suites(11, 13, {{"rsa", 4096}, {"aes", 256}});
+  policy.set_pair_suites(12, 13, {{"rsa", 2048}, {"aes", 256}});
+  if (topology == CaseStudyTopology::Fig3) {
+    policy.set_pair_suites(9, 13, {{"rsa", 2048}, {"aes", 256}});
+  } else {
+    // RTU9's uplink security configuration follows its new uplink hop.
+    policy.set_pair_suites(9, 12, {{"rsa", 2048}, {"aes", 256}});
+  }
+
+  // Table II measurement-to-IED mapping (measurements are 1-based in the
+  // paper; 0-based here). Measurement 4 (flow 5->4) is recorded by no IED.
+  std::map<int, std::vector<std::size_t>> measurements_of_ied = {
+      {1, {0, 1}},     // m1, m2
+      {2, {2, 4}},     // m3, m5
+      {3, {10}},       // m11 (injection at bus 2)
+      {4, {11}},       // m12 (injection at bus 3)
+      {5, {6, 8}},     // m7, m9
+      {6, {12}},       // m13 (injection at bus 4)
+      {7, {5, 7, 9}},  // m6, m8, m10
+      {8, {13}},       // m14 (injection at bus 5)
+  };
+
+  return ScadaScenario(ScadaTopology(std::move(devices), std::move(links)), std::move(policy),
+                       CryptoRuleRegistry::paper_defaults(),
+                       MeasurementModel(case_study_jacobian()),
+                       std::move(measurements_of_ied));
+}
+
+}  // namespace scada::core

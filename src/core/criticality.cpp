@@ -1,0 +1,60 @@
+#include "scada/core/criticality.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace scada::core {
+
+std::vector<DeviceCriticality> criticality_ranking(const ScadaScenario& scenario,
+                                                   const std::vector<ThreatVector>& threats) {
+  std::map<int, std::size_t> counts;
+  for (const int id : scenario.ied_ids()) counts[id] = 0;
+  for (const int id : scenario.rtu_ids()) counts[id] = 0;
+  for (const ThreatVector& v : threats) {
+    for (const int id : v.failed_ieds) ++counts[id];
+    for (const int id : v.failed_rtus) ++counts[id];
+  }
+
+  std::vector<DeviceCriticality> ranking;
+  ranking.reserve(counts.size());
+  for (const auto& [id, appearances] : counts) {
+    DeviceCriticality c;
+    c.device_id = id;
+    c.type = scenario.topology().device(id).type;
+    c.appearances = appearances;
+    c.share = threats.empty()
+                  ? 0.0
+                  : static_cast<double>(appearances) / static_cast<double>(threats.size());
+    ranking.push_back(c);
+  }
+  std::stable_sort(ranking.begin(), ranking.end(),
+                   [](const DeviceCriticality& a, const DeviceCriticality& b) {
+                     if (a.appearances != b.appearances) return a.appearances > b.appearances;
+                     return a.device_id < b.device_id;
+                   });
+  return ranking;
+}
+
+std::vector<int> essential_devices(const std::vector<ThreatVector>& threats) {
+  if (threats.empty()) return {};
+  std::set<int> survivors;
+  {
+    const Contingency first = threats.front().to_contingency();
+    survivors.insert(first.failed_devices.begin(), first.failed_devices.end());
+  }
+  for (const ThreatVector& v : threats) {
+    const Contingency c = v.to_contingency();
+    for (auto it = survivors.begin(); it != survivors.end();) {
+      if (c.failed_devices.contains(*it)) {
+        ++it;
+      } else {
+        it = survivors.erase(it);
+      }
+    }
+    if (survivors.empty()) break;
+  }
+  return {survivors.begin(), survivors.end()};
+}
+
+}  // namespace scada::core

@@ -1,0 +1,75 @@
+#include "scada/core/hardening.hpp"
+
+#include <set>
+
+#include "scada/util/combinatorics.hpp"
+#include "scada/util/error.hpp"
+
+namespace scada::core {
+
+HardeningAdvisor::HardeningAdvisor(const ScadaScenario& scenario, AnalyzerOptions options)
+    : scenario_(scenario), options_(std::move(options)) {}
+
+std::vector<HardeningAction> HardeningAdvisor::candidates() const {
+  const auto& topology = scenario_.topology();
+  const auto& policy = scenario_.policy();
+  const auto& rules = scenario_.crypto_rules();
+
+  std::set<std::pair<int, int>> hops;
+  for (const int ied : scenario_.ied_ids()) {
+    for (const auto& path : topology.paths_to_mtu(ied, options_.encoder.max_paths_per_ied)) {
+      for (const auto& [a, b] : topology.logical_hops(path)) {
+        if (!policy.secured_hop(a, b, rules)) {
+          hops.insert(a < b ? std::pair{a, b} : std::pair{b, a});
+        }
+      }
+    }
+  }
+  std::vector<HardeningAction> out;
+  out.reserve(hops.size());
+  for (const auto& [a, b] : hops) out.push_back({a, b});
+  return out;
+}
+
+ScadaScenario HardeningAdvisor::apply(const std::vector<HardeningAction>& upgrades) const {
+  scadanet::SecurityPolicy policy = scenario_.policy();
+  for (const auto& action : upgrades) {
+    // Keep any existing suites and add a strong authenticated+integrity set.
+    std::vector<scadanet::CryptoSuite> suites;
+    if (const auto* existing = policy.pair_suites(action.a, action.b)) suites = *existing;
+    suites.push_back({"rsa", 2048});
+    suites.push_back({"sha2", 256});
+    policy.set_pair_suites(action.a, action.b, std::move(suites));
+  }
+  return ScadaScenario(scenario_.topology(), std::move(policy), scenario_.crypto_rules(),
+                       scenario_.model(), scenario_.measurements_of_ied());
+}
+
+HardeningResult HardeningAdvisor::advise(Property property, const ResiliencySpec& spec,
+                                         std::size_t max_upgrades) {
+  if (property == Property::Observability) {
+    throw ConfigError("HardeningAdvisor: plain observability has no crypto levers");
+  }
+  const std::vector<HardeningAction> pool = candidates();
+  HardeningResult result;
+
+  std::vector<HardeningAction> chosen;
+  const bool stopped_early = !util::for_each_subset_up_to(
+      pool.size(), std::min(max_upgrades, pool.size()),
+      [&](const std::vector<std::size_t>& subset) {
+        chosen.clear();
+        for (const std::size_t i : subset) chosen.push_back(pool[i]);
+        const ScadaScenario candidate_scenario = apply(chosen);
+        ScadaAnalyzer analyzer(candidate_scenario, options_);
+        ++result.probes;
+        return !analyzer.verify(property, spec).resilient();  // false stops the walk
+      });
+
+  if (stopped_early) {
+    result.achievable = true;
+    result.upgrades = std::move(chosen);
+  }
+  return result;
+}
+
+}  // namespace scada::core

@@ -1,0 +1,100 @@
+// ScadaAnalyzer: the user-facing verification API of the framework (Fig. 2).
+//
+// verify()            — decide one resiliency specification: Unsat means the
+//                       system provably satisfies it; Sat yields a threat
+//                       vector (minimized against the direct oracle).
+// enumerate_threats() — the full threat space via blocking constraints
+//                       (Fig. 7(b)'s metric).
+// max_resiliency()    — largest k for which the property is still resilient
+//                       (Fig. 7(a)'s metric).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scada/core/encoder.hpp"
+#include "scada/core/oracle.hpp"
+#include "scada/core/scenario.hpp"
+#include "scada/core/spec.hpp"
+#include "scada/smt/session.hpp"
+
+namespace scada::core {
+
+/// A set of failures that violates the property within the budget.
+struct ThreatVector {
+  std::vector<int> failed_ieds;
+  std::vector<int> failed_rtus;
+  std::vector<int> failed_links;
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return failed_ieds.size() + failed_rtus.size() + failed_links.size();
+  }
+  [[nodiscard]] Contingency to_contingency() const;
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const ThreatVector&) const = default;
+};
+
+struct VerificationResult {
+  smt::SolveResult result = smt::SolveResult::Unknown;
+  /// Present when result == Sat.
+  std::optional<ThreatVector> threat;
+  double solve_seconds = 0.0;
+  double encode_seconds = 0.0;
+
+  /// Unsat certifies the resiliency specification.
+  [[nodiscard]] bool resilient() const noexcept { return result == smt::SolveResult::Unsat; }
+  [[nodiscard]] std::string to_string() const;
+};
+
+struct MaxResiliencyResult {
+  /// Largest budget k with a resilient (unsat) verdict; -1 if even k = 0
+  /// fails (the property does not hold in the nominal configuration).
+  int max_k = -1;
+  /// Number of verify() calls spent in the search.
+  int probes = 0;
+};
+
+struct AnalyzerOptions {
+  smt::SessionOptions solver;
+  EncoderOptions encoder;
+  /// Shrink Sat models to minimal threat vectors using the direct oracle.
+  bool minimize_threats = true;
+};
+
+class ScadaAnalyzer {
+ public:
+  /// The scenario must outlive the analyzer.
+  explicit ScadaAnalyzer(const ScadaScenario& scenario, AnalyzerOptions options = {});
+
+  /// One-shot verification of a specification.
+  [[nodiscard]] VerificationResult verify(Property property, const ResiliencySpec& spec);
+
+  /// Enumerates distinct threat vectors by repeated solving with blocking
+  /// constraints. With `minimal_only` (default) each reported vector is
+  /// locally minimal and its supersets are suppressed — the count of
+  /// "different threat vectors" the paper reports. Stops after max_vectors.
+  [[nodiscard]] std::vector<ThreatVector> enumerate_threats(Property property,
+                                                            const ResiliencySpec& spec,
+                                                            std::size_t max_vectors = 1024,
+                                                            bool minimal_only = true);
+
+  /// Largest k (for the failure class) with an unsat verdict, by upward
+  /// linear search from k = 0. For BadDataDetectability pass spec_r.
+  [[nodiscard]] MaxResiliencyResult max_resiliency(Property property, FailureClass failure_class,
+                                                   int spec_r = 1);
+
+  [[nodiscard]] const ScadaScenario& scenario() const noexcept { return scenario_; }
+
+ private:
+  [[nodiscard]] ThreatVector extract_threat(const ThreatEncoder& encoder,
+                                            const smt::Session& session) const;
+  [[nodiscard]] ThreatVector minimize(Property property, const ResiliencySpec& spec,
+                                      ThreatVector threat) const;
+
+  const ScadaScenario& scenario_;
+  AnalyzerOptions options_;
+  ScenarioOracle oracle_;
+};
+
+}  // namespace scada::core

@@ -1,0 +1,30 @@
+// BruteForceVerifier: the exhaustive baseline — enumerate every failure set
+// within the budget and evaluate the property directly with the oracle.
+// Exact but exponential; serves as the ground-truth comparator for the SMT
+// model in tests and as the baseline in the ablation benchmark.
+#pragma once
+
+#include "scada/core/analyzer.hpp"
+
+namespace scada::core {
+
+class BruteForceVerifier {
+ public:
+  explicit BruteForceVerifier(const ScadaScenario& scenario, EncoderOptions options = {});
+
+  /// Same contract as ScadaAnalyzer::verify (links are never failed — the
+  /// brute-force baseline covers the device-failure model).
+  [[nodiscard]] VerificationResult verify(Property property, const ResiliencySpec& spec) const;
+
+  /// All minimal threat vectors within the budget (sorted, deduplicated).
+  [[nodiscard]] std::vector<ThreatVector> enumerate_threats(Property property,
+                                                            const ResiliencySpec& spec) const;
+
+ private:
+  [[nodiscard]] bool within_budget(const ThreatVector& v, const ResiliencySpec& spec) const;
+
+  const ScadaScenario& scenario_;
+  ScenarioOracle oracle_;
+};
+
+}  // namespace scada::core

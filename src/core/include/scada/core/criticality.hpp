@@ -1,0 +1,35 @@
+// Device criticality: rank field devices by how often they appear in the
+// threat space. The paper's threat vectors "help us learn the dependability
+// breach points" (§III-D); this turns a threat enumeration into an ordered
+// hardening worklist for the grid operator.
+#pragma once
+
+#include <vector>
+
+#include "scada/core/analyzer.hpp"
+
+namespace scada::core {
+
+struct DeviceCriticality {
+  int device_id = 0;
+  scadanet::DeviceType type = scadanet::DeviceType::Ied;
+  /// Number of threat vectors the device appears in.
+  std::size_t appearances = 0;
+  /// appearances / total threat vectors (0 when the threat space is empty).
+  double share = 0.0;
+
+  bool operator==(const DeviceCriticality&) const = default;
+};
+
+/// Ranks every field device of the scenario by threat-space participation,
+/// most critical first (ties broken by id). Devices appearing in no vector
+/// are included with zero counts, so the result always covers the fleet.
+[[nodiscard]] std::vector<DeviceCriticality> criticality_ranking(
+    const ScadaScenario& scenario, const std::vector<ThreatVector>& threats);
+
+/// Devices present in *every* threat vector: protecting any one of them
+/// (hardening, redundancy) eliminates the entire enumerated threat space.
+/// Empty when the threat space is empty or no device is universal.
+[[nodiscard]] std::vector<int> essential_devices(const std::vector<ThreatVector>& threats);
+
+}  // namespace scada::core

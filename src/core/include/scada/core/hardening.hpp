@@ -1,0 +1,56 @@
+// HardeningAdvisor: a prototype of the paper's future work — "automated
+// synthesis of necessary configurations for resilient SCADA systems".
+//
+// Given a resiliency specification that fails, the advisor searches for a
+// minimal set of security-profile upgrades (per logical hop) that restores
+// the specification, by re-verifying candidate configurations in increasing
+// upgrade-set size.
+#pragma once
+
+#include <vector>
+
+#include "scada/core/analyzer.hpp"
+
+namespace scada::core {
+
+/// Upgrade one logical hop's pair profile to an authenticated and
+/// integrity-protected suite set.
+struct HardeningAction {
+  int a = 0;
+  int b = 0;
+  bool operator==(const HardeningAction&) const = default;
+  [[nodiscard]] std::string to_string() const {
+    return "secure(" + std::to_string(a) + "," + std::to_string(b) + ")";
+  }
+};
+
+struct HardeningResult {
+  /// True when some upgrade set within the size bound restores the spec.
+  bool achievable = false;
+  /// A minimum-cardinality upgrade set (empty if the spec already holds).
+  std::vector<HardeningAction> upgrades;
+  /// verify() calls spent.
+  int probes = 0;
+};
+
+class HardeningAdvisor {
+ public:
+  explicit HardeningAdvisor(const ScadaScenario& scenario, AnalyzerOptions options = {});
+
+  /// Searches upgrade sets of size 0..max_upgrades (increasing, so the first
+  /// hit is minimum-cardinality). Only meaningful for SecuredObservability
+  /// and BadDataDetectability — plain observability ignores crypto strength.
+  [[nodiscard]] HardeningResult advise(Property property, const ResiliencySpec& spec,
+                                       std::size_t max_upgrades = 4);
+
+  /// The candidate hops considered (insecure logical hops on some IED path).
+  [[nodiscard]] std::vector<HardeningAction> candidates() const;
+
+ private:
+  [[nodiscard]] ScadaScenario apply(const std::vector<HardeningAction>& upgrades) const;
+
+  const ScadaScenario& scenario_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace scada::core

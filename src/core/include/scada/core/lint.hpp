@@ -1,0 +1,60 @@
+// Configuration lint: static misconfiguration analysis of a scenario.
+//
+// The paper's threat taxonomy (§II-B) names two causes of SCADA failures:
+// "misconfiguration or the lack of security controls that can cause
+// inconsistency, unreachability, broken security tunnels", and weak
+// resiliency controls. The resiliency analyzer covers the second; this lint
+// surfaces the first *before* solving: unreachable IEDs, protocol mismatches,
+// broken or weak security pairings, banned algorithms, orphan measurements,
+// and structural single points of failure.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scada/core/scenario.hpp"
+
+namespace scada::core {
+
+enum class LintSeverity {
+  Error,    ///< delivery is impossible or the input is inconsistent
+  Warning,  ///< delivery works but is fragile or insecure
+};
+
+enum class LintKind {
+  UnreachableIed,         ///< no admissible forwarding path to the MTU
+  ProtocolMismatch,       ///< link endpoints share no communication protocol
+  BrokenCryptoPairing,    ///< one endpoint expects crypto, no pair profile
+  UnauthenticatedHop,     ///< profile exists but no suite provides authentication
+  IntegrityGap,           ///< authenticated hop without integrity protection
+  BannedAlgorithm,        ///< a profile lists an algorithm with no rule (e.g. DES)
+  OrphanMeasurement,      ///< measurement recorded by no IED
+  IdleIed,                ///< IED records no measurements
+  DownLink,               ///< administratively down link in the topology
+  SinglePointOfFailure,   ///< one RTU whose loss silences several IEDs
+};
+
+[[nodiscard]] const char* to_string(LintKind k) noexcept;
+[[nodiscard]] const char* to_string(LintSeverity s) noexcept;
+
+struct LintFinding {
+  LintKind kind = LintKind::UnreachableIed;
+  LintSeverity severity = LintSeverity::Warning;
+  /// Devices involved (e.g. the hop endpoints, the unreachable IED).
+  std::vector<int> devices;
+  std::string message;
+
+  bool operator==(const LintFinding&) const = default;
+};
+
+struct LintOptions {
+  /// An RTU is flagged as a single point of failure when its loss alone
+  /// cuts at least this many IEDs off the MTU.
+  std::size_t spof_ied_threshold = 2;
+};
+
+/// Runs every check; findings are ordered errors-first, then by kind.
+[[nodiscard]] std::vector<LintFinding> lint_scenario(const ScadaScenario& scenario,
+                                                     const LintOptions& options = {});
+
+}  // namespace scada::core

@@ -1,0 +1,63 @@
+// ScenarioOracle: direct (solver-free) evaluation of the dependability
+// properties for one concrete contingency — given exactly which devices and
+// links failed, compute delivered/secured measurement sets and decide the
+// property. Used to
+//   * minimize and validate threat vectors found by the SMT model,
+//   * power the brute-force baseline verifier (the benchmark comparator),
+//   * cross-check the SMT encoding in property tests.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "scada/core/encoder.hpp"
+#include "scada/core/scenario.hpp"
+#include "scada/core/spec.hpp"
+
+namespace scada::core {
+
+/// A concrete contingency: failed field devices and (optionally) links.
+struct Contingency {
+  std::set<int> failed_devices;
+  std::set<int> failed_links;
+
+  [[nodiscard]] bool device_up(int id) const { return !failed_devices.contains(id); }
+  [[nodiscard]] bool link_up(int id) const { return !failed_links.contains(id); }
+};
+
+class ScenarioOracle {
+ public:
+  ScenarioOracle(const ScadaScenario& scenario, EncoderOptions options = {});
+
+  /// Per-measurement delivery under the contingency (D_Z).
+  [[nodiscard]] std::vector<bool> delivered(const Contingency& c) const;
+  /// Per-measurement secured delivery (S_Z).
+  [[nodiscard]] std::vector<bool> secured(const Contingency& c) const;
+
+  [[nodiscard]] bool assured_delivery(int ied_id, const Contingency& c) const;
+  [[nodiscard]] bool secured_delivery(int ied_id, const Contingency& c) const;
+
+  /// Decides the property under the contingency (true = property holds).
+  [[nodiscard]] bool holds(Property property, const Contingency& c, int r = 1) const;
+
+ private:
+  struct PathSet {
+    /// Each path as the field devices it needs up plus the links it uses.
+    struct P {
+      std::vector<int> field_devices;
+      std::vector<int> link_ids;
+    };
+    std::vector<P> assured;  ///< statically admissible for assured delivery
+    std::vector<P> secured;  ///< statically admissible for secured delivery
+  };
+
+  [[nodiscard]] bool any_path_alive(const std::vector<PathSet::P>& paths,
+                                    const Contingency& c) const;
+  [[nodiscard]] bool counting_observable_with(const std::vector<bool>& delivered_z) const;
+
+  const ScadaScenario& scenario_;
+  EncoderOptions options_;
+  std::map<int, PathSet> paths_by_ied_;
+};
+
+}  // namespace scada::core

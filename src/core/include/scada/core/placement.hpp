@@ -1,0 +1,62 @@
+// PlacementAdvisor: configuration synthesis on the sensing side.
+//
+// The paper's future work asks for "automated synthesis of necessary
+// configurations for resilient SCADA systems". HardeningAdvisor upgrades
+// crypto profiles; this advisor adds *measurements*: it greedily selects new
+// meter placements (each installed on a fresh IED attached to an existing
+// RTU over a secured hop) until the requested resiliency specification
+// verifies, scoring candidates by how far they shrink the threat space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/powersys/bus_system.hpp"
+
+namespace scada::core {
+
+struct PlacementAction {
+  /// The measurement to install (flow on a branch or injection at a bus).
+  powersys::Measurement measurement;
+  /// New IED's id and the RTU it attaches to.
+  int ied_id = 0;
+  int rtu_id = 0;
+
+  [[nodiscard]] std::string to_string(const powersys::BusSystem& grid) const;
+};
+
+struct PlacementResult {
+  bool achievable = false;
+  std::vector<PlacementAction> additions;
+  /// verify()/enumerate() solver interactions spent.
+  int probes = 0;
+};
+
+class PlacementAdvisor {
+ public:
+  /// `grid` must be the bus system the scenario's measurement model was
+  /// placed on (the advisor needs it to derive new Jacobian rows); the
+  /// scenario must hold a placement-built model.
+  PlacementAdvisor(const powersys::BusSystem& grid, const ScadaScenario& scenario,
+                   AnalyzerOptions options = {});
+
+  /// Greedy synthesis: up to `max_additions` new meters. Returns the action
+  /// list that makes (property, spec) verify, or achievable=false.
+  [[nodiscard]] PlacementResult advise(Property property, const ResiliencySpec& spec,
+                                       std::size_t max_additions = 8);
+
+  /// Measurements of the full 2L+n set not yet placed.
+  [[nodiscard]] std::vector<powersys::Measurement> candidates() const;
+
+  /// The scenario with the given actions applied (new IEDs, links, secured
+  /// profiles, extended measurement model).
+  [[nodiscard]] ScadaScenario apply(const std::vector<PlacementAction>& actions) const;
+
+ private:
+  const powersys::BusSystem& grid_;
+  const ScadaScenario& scenario_;
+  AnalyzerOptions options_;
+};
+
+}  // namespace scada::core

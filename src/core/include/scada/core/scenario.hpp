@@ -1,0 +1,58 @@
+// ScadaScenario: one complete analysis instance — the SCADA network, its
+// security configuration, the power-system measurement model, and the
+// IED-to-measurement mapping (MsrSet_I). This is the input of Fig. 2's
+// "SCADA Analyzer" box.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "scada/powersys/measurement.hpp"
+#include "scada/scadanet/crypto.hpp"
+#include "scada/scadanet/policy.hpp"
+#include "scada/scadanet/topology.hpp"
+
+namespace scada::core {
+
+class ScadaScenario {
+ public:
+  /// Validates the instance:
+  ///  * every key of `measurements_of_ied` is an IED of the topology,
+  ///  * measurement indices are in range and assigned to at most one IED
+  ///    (a physical meter reading is recorded by exactly one device).
+  /// Unassigned measurements are allowed — they can simply never be
+  /// delivered (e.g. the grid supports a meter nobody installed).
+  ScadaScenario(scadanet::ScadaTopology topology, scadanet::SecurityPolicy policy,
+                scadanet::CryptoRuleRegistry crypto_rules, powersys::MeasurementModel model,
+                std::map<int, std::vector<std::size_t>> measurements_of_ied);
+
+  [[nodiscard]] const scadanet::ScadaTopology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const scadanet::SecurityPolicy& policy() const noexcept { return policy_; }
+  [[nodiscard]] const scadanet::CryptoRuleRegistry& crypto_rules() const noexcept {
+    return crypto_rules_;
+  }
+  [[nodiscard]] const powersys::MeasurementModel& model() const noexcept { return model_; }
+  [[nodiscard]] const std::map<int, std::vector<std::size_t>>& measurements_of_ied()
+      const noexcept {
+    return measurements_of_ied_;
+  }
+
+  /// The IED that records measurement z, or 0 if unassigned.
+  [[nodiscard]] int ied_of_measurement(std::size_t z) const;
+
+  /// Field devices that the resiliency model may fail, ascending by id.
+  [[nodiscard]] const std::vector<int>& ied_ids() const noexcept { return ied_ids_; }
+  [[nodiscard]] const std::vector<int>& rtu_ids() const noexcept { return rtu_ids_; }
+
+ private:
+  scadanet::ScadaTopology topology_;
+  scadanet::SecurityPolicy policy_;
+  scadanet::CryptoRuleRegistry crypto_rules_;
+  powersys::MeasurementModel model_;
+  std::map<int, std::vector<std::size_t>> measurements_of_ied_;
+  std::vector<int> ied_of_measurement_;  // measurement -> IED id (0 = none)
+  std::vector<int> ied_ids_;
+  std::vector<int> rtu_ids_;
+};
+
+}  // namespace scada::core

@@ -1,0 +1,58 @@
+// Resiliency specifications and verified properties (§III-C/D/E).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace scada::core {
+
+/// The three dependability properties the framework verifies.
+enum class Property {
+  Observability,           ///< k-resilient observability
+  SecuredObservability,    ///< k-resilient secured observability
+  BadDataDetectability,    ///< (k,r)-resilient bad data detectability
+};
+
+[[nodiscard]] const char* to_string(Property p) noexcept;
+
+/// Failure budget of the contingency model: either a combined budget over
+/// all field devices (k-resiliency) or separate budgets for IEDs and RTUs
+/// (k1,k2-resiliency). `r` is the number of simultaneously corrupted
+/// measurements tolerated by bad-data detection (ignored for the other
+/// properties).
+struct ResiliencySpec {
+  std::optional<int> k_total;  ///< combined budget over IEDs + RTUs
+  std::optional<int> k_ied;    ///< IED budget (k1)
+  std::optional<int> k_rtu;    ///< RTU budget (k2)
+  int r = 1;
+
+  /// k-resiliency: at most `k` field devices (of any kind) unavailable.
+  [[nodiscard]] static ResiliencySpec total(int k, int r = 1) {
+    ResiliencySpec s;
+    s.k_total = k;
+    s.r = r;
+    return s;
+  }
+
+  /// (k1,k2)-resiliency: at most k1 IEDs and k2 RTUs unavailable.
+  [[nodiscard]] static ResiliencySpec per_type(int k1, int k2, int r = 1) {
+    ResiliencySpec s;
+    s.k_ied = k1;
+    s.k_rtu = k2;
+    s.r = r;
+    return s;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Which device class a max-resiliency search varies.
+enum class FailureClass {
+  IedOnly,   ///< max k1 with k2 = 0
+  RtuOnly,   ///< max k2 with k1 = 0
+  Combined,  ///< max k over all field devices
+};
+
+[[nodiscard]] const char* to_string(FailureClass c) noexcept;
+
+}  // namespace scada::core

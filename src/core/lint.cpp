@@ -1,0 +1,156 @@
+#include "scada/core/lint.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "scada/core/oracle.hpp"
+#include "scada/core/paths.hpp"
+
+namespace scada::core {
+
+const char* to_string(LintKind k) noexcept {
+  switch (k) {
+    case LintKind::UnreachableIed: return "unreachable-ied";
+    case LintKind::ProtocolMismatch: return "protocol-mismatch";
+    case LintKind::BrokenCryptoPairing: return "broken-crypto-pairing";
+    case LintKind::UnauthenticatedHop: return "unauthenticated-hop";
+    case LintKind::IntegrityGap: return "integrity-gap";
+    case LintKind::BannedAlgorithm: return "banned-algorithm";
+    case LintKind::OrphanMeasurement: return "orphan-measurement";
+    case LintKind::IdleIed: return "idle-ied";
+    case LintKind::DownLink: return "down-link";
+    case LintKind::SinglePointOfFailure: return "single-point-of-failure";
+  }
+  return "?";
+}
+
+const char* to_string(LintSeverity s) noexcept {
+  switch (s) {
+    case LintSeverity::Error: return "error";
+    case LintSeverity::Warning: return "warning";
+  }
+  return "?";
+}
+
+std::vector<LintFinding> lint_scenario(const ScadaScenario& scenario,
+                                       const LintOptions& options) {
+  std::vector<LintFinding> findings;
+  const auto& topology = scenario.topology();
+  const auto& policy = scenario.policy();
+  const auto& rules = scenario.crypto_rules();
+
+  const auto add = [&](LintKind kind, LintSeverity severity, std::vector<int> devices,
+                       std::string message) {
+    findings.push_back(
+        {kind, severity, std::move(devices), std::move(message)});
+  };
+
+  // --- reachability: every IED must have an admissible assured path ---
+  for (const int ied : scenario.ied_ids()) {
+    if (admissible_paths(scenario, ied, DeliveryKind::Assured).empty()) {
+      add(LintKind::UnreachableIed, LintSeverity::Error, {ied},
+          "IED " + std::to_string(ied) +
+              " has no admissible forwarding path to the MTU (its measurements "
+              "can never be delivered)");
+    }
+  }
+
+  // --- per-hop checks over every logical hop used by some path ---
+  std::set<std::pair<int, int>> hops;
+  for (const int ied : scenario.ied_ids()) {
+    for (const auto& path : topology.paths_to_mtu(ied)) {
+      for (const auto& [a, b] : topology.logical_hops(path)) {
+        hops.insert(a < b ? std::pair{a, b} : std::pair{b, a});
+      }
+    }
+  }
+  for (const auto& [a, b] : hops) {
+    const auto& da = topology.device(a);
+    const auto& db = topology.device(b);
+    const std::string hop = std::to_string(a) + "-" + std::to_string(b);
+    if (!scadanet::comm_proto_pairing(da, db)) {
+      add(LintKind::ProtocolMismatch, LintSeverity::Error, {a, b},
+          "devices on hop " + hop + " share no communication protocol");
+      continue;
+    }
+    if (!policy.crypto_pairing(da, db)) {
+      add(LintKind::BrokenCryptoPairing, LintSeverity::Error, {a, b},
+          "hop " + hop + " expects a cryptographic handshake but the pair has no profile");
+      continue;
+    }
+    const auto* suites = policy.pair_suites(a, b);
+    if (suites == nullptr) continue;  // plaintext pairing, nothing to grade
+    if (!policy.authenticated(a, b, rules)) {
+      add(LintKind::UnauthenticatedHop, LintSeverity::Warning, {a, b},
+          "hop " + hop + " has a security profile but no authenticating suite");
+    } else if (!policy.integrity_protected(a, b, rules)) {
+      add(LintKind::IntegrityGap, LintSeverity::Warning, {a, b},
+          "hop " + hop + " is authenticated but not integrity protected — its "
+          "measurements cannot count toward secured observability");
+    }
+    for (const auto& suite : *suites) {
+      const bool known =
+          rules.min_key_bits(scadanet::CryptoProperty::Authentication, suite.algorithm) ||
+          rules.min_key_bits(scadanet::CryptoProperty::Integrity, suite.algorithm) ||
+          rules.min_key_bits(scadanet::CryptoProperty::Encryption, suite.algorithm);
+      if (!known) {
+        add(LintKind::BannedAlgorithm, LintSeverity::Warning, {a, b},
+            "hop " + hop + " lists " + suite.to_string() +
+                ", which qualifies for no security property under the active rules");
+      }
+    }
+  }
+
+  // --- measurement mapping hygiene ---
+  for (std::size_t z = 0; z < scenario.model().num_measurements(); ++z) {
+    if (scenario.ied_of_measurement(z) == 0) {
+      add(LintKind::OrphanMeasurement, LintSeverity::Warning, {},
+          "measurement " + std::to_string(z + 1) + " is recorded by no IED");
+    }
+  }
+  for (const int ied : scenario.ied_ids()) {
+    const auto it = scenario.measurements_of_ied().find(ied);
+    if (it == scenario.measurements_of_ied().end() || it->second.empty()) {
+      add(LintKind::IdleIed, LintSeverity::Warning, {ied},
+          "IED " + std::to_string(ied) + " records no measurements");
+    }
+  }
+
+  // --- topology hygiene ---
+  for (const auto& link : topology.links()) {
+    if (!link.up) {
+      add(LintKind::DownLink, LintSeverity::Warning, {link.a, link.b},
+          "link " + std::to_string(link.id) + " (" + std::to_string(link.a) + "-" +
+              std::to_string(link.b) + ") is administratively down");
+    }
+  }
+
+  // --- structural single points of failure ---
+  ScenarioOracle oracle(scenario);
+  for (const int rtu : scenario.rtu_ids()) {
+    Contingency c;
+    c.failed_devices.insert(rtu);
+    std::size_t silenced = 0;
+    for (const int ied : scenario.ied_ids()) {
+      if (oracle.assured_delivery(ied, Contingency{}) && !oracle.assured_delivery(ied, c)) {
+        ++silenced;
+      }
+    }
+    if (silenced >= options.spof_ied_threshold) {
+      add(LintKind::SinglePointOfFailure, LintSeverity::Warning, {rtu},
+          "RTU " + std::to_string(rtu) + " alone silences " + std::to_string(silenced) +
+              " IEDs — a single point of failure");
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const LintFinding& a, const LintFinding& b) {
+                     if (a.severity != b.severity) {
+                       return a.severity == LintSeverity::Error;
+                     }
+                     return static_cast<int>(a.kind) < static_cast<int>(b.kind);
+                   });
+  return findings;
+}
+
+}  // namespace scada::core

@@ -1,0 +1,46 @@
+#include "scada/core/scenario.hpp"
+
+#include "scada/util/error.hpp"
+
+namespace scada::core {
+
+ScadaScenario::ScadaScenario(scadanet::ScadaTopology topology, scadanet::SecurityPolicy policy,
+                             scadanet::CryptoRuleRegistry crypto_rules,
+                             powersys::MeasurementModel model,
+                             std::map<int, std::vector<std::size_t>> measurements_of_ied)
+    : topology_(std::move(topology)),
+      policy_(std::move(policy)),
+      crypto_rules_(std::move(crypto_rules)),
+      model_(std::move(model)),
+      measurements_of_ied_(std::move(measurements_of_ied)) {
+  ied_of_measurement_.assign(model_.num_measurements(), 0);
+  for (const auto& [ied, measurements] : measurements_of_ied_) {
+    if (!topology_.has_device(ied) ||
+        topology_.device(ied).type != scadanet::DeviceType::Ied) {
+      throw ConfigError("ScadaScenario: measurement owner " + std::to_string(ied) +
+                        " is not an IED");
+    }
+    for (const std::size_t z : measurements) {
+      if (z >= model_.num_measurements()) {
+        throw ConfigError("ScadaScenario: measurement index " + std::to_string(z) +
+                          " out of range");
+      }
+      if (ied_of_measurement_[z] != 0) {
+        throw ConfigError("ScadaScenario: measurement " + std::to_string(z) +
+                          " assigned to more than one IED");
+      }
+      ied_of_measurement_[z] = ied;
+    }
+  }
+  ied_ids_ = topology_.ids_of(scadanet::DeviceType::Ied);
+  rtu_ids_ = topology_.ids_of(scadanet::DeviceType::Rtu);
+}
+
+int ScadaScenario::ied_of_measurement(std::size_t z) const {
+  if (z >= ied_of_measurement_.size()) {
+    throw ConfigError("ScadaScenario: measurement index out of range");
+  }
+  return ied_of_measurement_[z];
+}
+
+}  // namespace scada::core

@@ -1,0 +1,61 @@
+// Text input format for analysis cases, mirroring the paper's Table II:
+// the Jacobian, the device inventory, the topology links, the
+// measurement-to-IED mapping, the per-pair security profiles, and the
+// resiliency requirement.
+//
+// Format (lines starting with '#' are comments, blank lines ignored):
+//
+//   [counts]
+//   states 5
+//   measurements 14
+//   [jacobian]          # exactly `measurements` rows of `states` numbers
+//   0 -5.05 5.05 0 0
+//   ...
+//   [devices]           # one per line: <type> <id>   (ied|rtu|mtu|router)
+//   ied 1
+//   rtu 9
+//   mtu 13
+//   router 14
+//   [links]             # <link-id> <device-a> <device-b> [down]
+//   1 1 9
+//   ...
+//   [measurements]      # <ied-id> <measurement-ids...>  (1-based)
+//   1 1 2
+//   ...
+//   [security]          # <a> <b> (<algo> <key-bits>)+
+//   1 9 hmac 128
+//   ...
+//   [spec]              # optional; k <n> | k1 <n> | k2 <n> | r <n>
+//   k1 1
+//   k2 1
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+
+#include "scada/core/scenario.hpp"
+#include "scada/core/spec.hpp"
+
+namespace scada::io {
+
+/// A parsed case: the scenario plus the optional [spec] section.
+struct CaseFile {
+  core::ScadaScenario scenario;
+  std::optional<core::ResiliencySpec> spec;
+};
+
+/// Parses a case file; throws scada::ParseError with a line number on
+/// malformed input.
+[[nodiscard]] CaseFile read_case(std::istream& in);
+[[nodiscard]] CaseFile read_case_string(const std::string& text);
+[[nodiscard]] CaseFile read_case_file(const std::string& path);
+
+/// Serializes a scenario (and optional spec) back to the format above.
+void write_case(std::ostream& out, const core::ScadaScenario& scenario,
+                const std::optional<core::ResiliencySpec>& spec = std::nullopt);
+[[nodiscard]] std::string write_case_string(
+    const core::ScadaScenario& scenario,
+    const std::optional<core::ResiliencySpec>& spec = std::nullopt);
+
+}  // namespace scada::io

@@ -1,0 +1,39 @@
+// JSON rendering of analysis artifacts, for downstream tooling (dashboards,
+// CI gates on grid configurations, diffing threat spaces across versions).
+//
+// A minimal self-contained writer: no external dependency, RFC 8259 string
+// escaping, stable key order (object keys are emitted in insertion order).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/core/criticality.hpp"
+#include "scada/core/lint.hpp"
+
+namespace scada::io {
+
+/// Escapes and quotes a string per RFC 8259.
+[[nodiscard]] std::string json_quote(const std::string& s);
+
+/// {"property": "...", "spec": "...", "result": "sat|unsat|unknown",
+///  "resilient": bool, "threat": {...}|null, "solve_seconds": x}
+[[nodiscard]] std::string verification_to_json(core::Property property,
+                                               const core::ResiliencySpec& spec,
+                                               const core::VerificationResult& result);
+
+/// {"failed_ieds": [...], "failed_rtus": [...], "failed_links": [...]}
+[[nodiscard]] std::string threat_to_json(const core::ThreatVector& threat);
+
+/// [ {...}, ... ]
+[[nodiscard]] std::string threats_to_json(const std::vector<core::ThreatVector>& threats);
+
+/// [ {"device": id, "type": "...", "appearances": n, "share": x}, ... ]
+[[nodiscard]] std::string criticality_to_json(
+    const std::vector<core::DeviceCriticality>& ranking);
+
+/// [ {"severity": "...", "check": "...", "devices": [...], "message": "..."} ]
+[[nodiscard]] std::string lint_to_json(const std::vector<core::LintFinding>& findings);
+
+}  // namespace scada::io

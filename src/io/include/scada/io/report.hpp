@@ -1,0 +1,35 @@
+// Human-readable report rendering for verification results, threat spaces,
+// and security-configuration audits.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/core/criticality.hpp"
+#include "scada/core/lint.hpp"
+
+namespace scada::io {
+
+/// One-paragraph verdict: specification, sat/unsat, threat vector if any.
+[[nodiscard]] std::string render_verification(core::Property property,
+                                              const core::ResiliencySpec& spec,
+                                              const core::VerificationResult& result);
+
+/// Aligned table of threat vectors.
+[[nodiscard]] std::string render_threats(const std::vector<core::ThreatVector>& threats);
+
+/// Per-pair security audit: agreed suites and which properties (under the
+/// scenario's crypto rules) each hop achieves. Weak hops are the root causes
+/// scenario 2 exposes.
+[[nodiscard]] std::string render_security_audit(const core::ScadaScenario& scenario);
+
+/// Device criticality ranking table (devices with zero appearances omitted
+/// unless `include_safe`).
+[[nodiscard]] std::string render_criticality(
+    const std::vector<core::DeviceCriticality>& ranking, bool include_safe = false);
+
+/// Configuration-lint findings table ("clean configuration" line if empty).
+[[nodiscard]] std::string render_lint(const std::vector<core::LintFinding>& findings);
+
+}  // namespace scada::io

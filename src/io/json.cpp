@@ -1,0 +1,102 @@
+#include "scada/io/json.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace scada::io {
+namespace {
+
+std::string int_array(const std::vector<int>& values) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += std::to_string(values[i]);
+  }
+  return out + "]";
+}
+
+std::string number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out + "\"";
+}
+
+std::string threat_to_json(const core::ThreatVector& threat) {
+  return "{\"failed_ieds\":" + int_array(threat.failed_ieds) +
+         ",\"failed_rtus\":" + int_array(threat.failed_rtus) +
+         ",\"failed_links\":" + int_array(threat.failed_links) + "}";
+}
+
+std::string threats_to_json(const std::vector<core::ThreatVector>& threats) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < threats.size(); ++i) {
+    if (i > 0) out += ",";
+    out += threat_to_json(threats[i]);
+  }
+  return out + "]";
+}
+
+std::string verification_to_json(core::Property property, const core::ResiliencySpec& spec,
+                                 const core::VerificationResult& result) {
+  std::ostringstream out;
+  out << "{\"property\":" << json_quote(core::to_string(property))
+      << ",\"spec\":" << json_quote(spec.to_string())
+      << ",\"result\":" << json_quote(smt::to_string(result.result))
+      << ",\"resilient\":" << (result.resilient() ? "true" : "false") << ",\"threat\":"
+      << (result.threat ? threat_to_json(*result.threat) : std::string("null"))
+      << ",\"solve_seconds\":" << number(result.solve_seconds)
+      << ",\"encode_seconds\":" << number(result.encode_seconds) << "}";
+  return out.str();
+}
+
+std::string criticality_to_json(const std::vector<core::DeviceCriticality>& ranking) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < ranking.size(); ++i) {
+    if (i > 0) out += ",";
+    const auto& c = ranking[i];
+    out += "{\"device\":" + std::to_string(c.device_id) +
+           ",\"type\":" + json_quote(scadanet::to_string(c.type)) +
+           ",\"appearances\":" + std::to_string(c.appearances) +
+           ",\"share\":" + number(c.share) + "}";
+  }
+  return out + "]";
+}
+
+std::string lint_to_json(const std::vector<core::LintFinding>& findings) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (i > 0) out += ",";
+    const auto& f = findings[i];
+    out += "{\"severity\":" + json_quote(core::to_string(f.severity)) +
+           ",\"check\":" + json_quote(core::to_string(f.kind)) +
+           ",\"devices\":" + int_array(f.devices) +
+           ",\"message\":" + json_quote(f.message) + "}";
+  }
+  return out + "]";
+}
+
+}  // namespace scada::io

@@ -1,0 +1,94 @@
+#include "scada/io/report.hpp"
+
+#include <sstream>
+
+#include "scada/util/table.hpp"
+
+namespace scada::io {
+
+std::string render_verification(core::Property property, const core::ResiliencySpec& spec,
+                                const core::VerificationResult& result) {
+  std::ostringstream out;
+  out << "property: " << core::to_string(property) << "\n";
+  out << "spec:     " << spec.to_string() << "\n";
+  out << "verdict:  ";
+  switch (result.result) {
+    case smt::SolveResult::Unsat:
+      out << "unsat — the system is resilient to this specification\n";
+      break;
+    case smt::SolveResult::Sat:
+      out << "sat — a resiliency threat exists\n";
+      if (result.threat) out << "threat:   " << result.threat->to_string() << "\n";
+      break;
+    case smt::SolveResult::Unknown:
+      out << "unknown — solver budget exhausted\n";
+      break;
+  }
+  out << "time:     " << util::fmt_double(result.solve_seconds * 1e3, 1) << " ms solve, "
+      << util::fmt_double(result.encode_seconds * 1e3, 1) << " ms encode\n";
+  return out.str();
+}
+
+std::string render_threats(const std::vector<core::ThreatVector>& threats) {
+  util::TextTable table({"#", "failed IEDs", "failed RTUs", "failed links"});
+  const auto join = [](const std::vector<int>& ids) {
+    std::string s;
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) s += ",";
+      s += std::to_string(ids[i]);
+    }
+    return s.empty() ? "-" : s;
+  };
+  for (std::size_t i = 0; i < threats.size(); ++i) {
+    table.add_row({std::to_string(i + 1), join(threats[i].failed_ieds),
+                   join(threats[i].failed_rtus), join(threats[i].failed_links)});
+  }
+  return table.to_text();
+}
+
+std::string render_security_audit(const core::ScadaScenario& scenario) {
+  using scadanet::CryptoProperty;
+  util::TextTable table({"pair", "suites", "authenticated", "integrity", "secured"});
+  const auto& rules = scenario.crypto_rules();
+  for (const auto& [pair, suites] : scenario.policy().all_profiles()) {
+    std::string suite_text;
+    for (std::size_t i = 0; i < suites.size(); ++i) {
+      if (i > 0) suite_text += " ";
+      suite_text += suites[i].to_string();
+    }
+    const bool auth = scenario.policy().authenticated(pair.first, pair.second, rules);
+    const bool integ = scenario.policy().integrity_protected(pair.first, pair.second, rules);
+    table.add_row({std::to_string(pair.first) + "-" + std::to_string(pair.second), suite_text,
+                   auth ? "yes" : "NO", integ ? "yes" : "NO",
+                   (auth && integ) ? "yes" : "NO"});
+  }
+  return table.to_text();
+}
+
+std::string render_criticality(const std::vector<core::DeviceCriticality>& ranking,
+                               bool include_safe) {
+  util::TextTable table({"device", "type", "threat appearances", "share"});
+  for (const auto& c : ranking) {
+    if (!include_safe && c.appearances == 0) continue;
+    table.add_row({std::to_string(c.device_id), scadanet::to_string(c.type),
+                   std::to_string(c.appearances), util::fmt_double(c.share * 100, 0) + "%"});
+  }
+  return table.to_text();
+}
+
+std::string render_lint(const std::vector<core::LintFinding>& findings) {
+  if (findings.empty()) return "clean configuration: no lint findings\n";
+  util::TextTable table({"severity", "check", "devices", "detail"});
+  for (const auto& f : findings) {
+    std::string devices;
+    for (std::size_t i = 0; i < f.devices.size(); ++i) {
+      if (i > 0) devices += ",";
+      devices += std::to_string(f.devices[i]);
+    }
+    table.add_row({core::to_string(f.severity), core::to_string(f.kind),
+                   devices.empty() ? "-" : devices, f.message});
+  }
+  return table.to_text();
+}
+
+}  // namespace scada::io

@@ -1,0 +1,154 @@
+#include "scada/powersys/bus_system.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "scada/util/error.hpp"
+#include "scada/util/rng.hpp"
+
+namespace scada::powersys {
+
+BusSystem::BusSystem(std::string name, int num_buses, std::vector<Branch> branches)
+    : name_(std::move(name)), num_buses_(num_buses), branches_(std::move(branches)) {
+  if (num_buses_ < 1) throw ConfigError("BusSystem: need at least one bus");
+  incident_.resize(static_cast<std::size_t>(num_buses_));
+  for (std::size_t i = 0; i < branches_.size(); ++i) {
+    const Branch& br = branches_[i];
+    if (br.from < 1 || br.from > num_buses_ || br.to < 1 || br.to > num_buses_) {
+      throw ConfigError("BusSystem '" + name_ + "': branch endpoint out of range");
+    }
+    if (br.from == br.to) throw ConfigError("BusSystem '" + name_ + "': self-loop branch");
+    if (br.reactance <= 0.0) {
+      throw ConfigError("BusSystem '" + name_ + "': non-positive reactance");
+    }
+    incident_[static_cast<std::size_t>(br.from - 1)].push_back(i);
+    incident_[static_cast<std::size_t>(br.to - 1)].push_back(i);
+  }
+}
+
+const std::vector<std::size_t>& BusSystem::branches_at(int bus) const {
+  if (bus < 1 || bus > num_buses_) throw ConfigError("BusSystem: bus out of range");
+  return incident_[static_cast<std::size_t>(bus - 1)];
+}
+
+bool BusSystem::is_connected() const {
+  std::vector<bool> visited(static_cast<std::size_t>(num_buses_), false);
+  std::vector<int> stack{1};
+  visited[0] = true;
+  int seen = 1;
+  while (!stack.empty()) {
+    const int bus = stack.back();
+    stack.pop_back();
+    for (const std::size_t bi : branches_at(bus)) {
+      const Branch& br = branches_[bi];
+      const int other = (br.from == bus) ? br.to : br.from;
+      if (!visited[static_cast<std::size_t>(other - 1)]) {
+        visited[static_cast<std::size_t>(other - 1)] = true;
+        ++seen;
+        stack.push_back(other);
+      }
+    }
+  }
+  return seen == num_buses_;
+}
+
+double BusSystem::average_degree() const noexcept {
+  if (num_buses_ == 0) return 0.0;
+  return 2.0 * static_cast<double>(branches_.size()) / static_cast<double>(num_buses_);
+}
+
+BusSystem BusSystem::ieee14() {
+  // Standard IEEE 14-bus branch reactances (per unit).
+  return BusSystem("ieee14", 14,
+                   {{1, 2, 0.05917},  {1, 5, 0.22304},  {2, 3, 0.19797},  {2, 4, 0.17632},
+                    {2, 5, 0.17388},  {3, 4, 0.17103},  {4, 5, 0.04211},  {4, 7, 0.20912},
+                    {4, 9, 0.55618},  {5, 6, 0.25202},  {6, 11, 0.19890}, {6, 12, 0.25581},
+                    {6, 13, 0.13027}, {7, 8, 0.17615},  {7, 9, 0.11001},  {9, 10, 0.08450},
+                    {9, 14, 0.27038}, {10, 11, 0.19207}, {12, 13, 0.19988}, {13, 14, 0.34802}});
+}
+
+BusSystem BusSystem::ieee30() {
+  // Standard IEEE 30-bus branch reactances (per unit).
+  return BusSystem(
+      "ieee30", 30,
+      {{1, 2, 0.0575},   {1, 3, 0.1852},  {2, 4, 0.1737},  {3, 4, 0.0379},  {2, 5, 0.1983},
+       {2, 6, 0.1763},   {4, 6, 0.0414},  {5, 7, 0.1160},  {6, 7, 0.0820},  {6, 8, 0.0420},
+       {6, 9, 0.2080},   {6, 10, 0.5560}, {9, 11, 0.2080}, {9, 10, 0.1100}, {4, 12, 0.2560},
+       {12, 13, 0.1400}, {12, 14, 0.2559}, {12, 15, 0.1304}, {12, 16, 0.1987}, {14, 15, 0.1997},
+       {16, 17, 0.1923}, {15, 18, 0.2185}, {18, 19, 0.1292}, {19, 20, 0.0680}, {10, 20, 0.2090},
+       {10, 17, 0.0845}, {10, 21, 0.0749}, {10, 22, 0.1499}, {21, 22, 0.0236}, {15, 23, 0.2020},
+       {22, 24, 0.1790}, {23, 24, 0.2700}, {24, 25, 0.3292}, {25, 26, 0.3800}, {25, 27, 0.2087},
+       {28, 27, 0.3960}, {27, 29, 0.4153}, {27, 30, 0.6027}, {29, 30, 0.4533}, {8, 28, 0.2000},
+       {6, 28, 0.0599}});
+}
+
+BusSystem BusSystem::ieee57() {
+  // Synthetic stand-in: 57 buses, 80 branches (the published counts).
+  BusSystem s = synthetic(57, 80, /*seed=*/57);
+  return BusSystem("ieee57-synth", s.num_buses(), s.branches());
+}
+
+BusSystem BusSystem::ieee118() {
+  // Synthetic stand-in: 118 buses, 186 branches (the published counts).
+  BusSystem s = synthetic(118, 186, /*seed=*/118);
+  return BusSystem("ieee118-synth", s.num_buses(), s.branches());
+}
+
+BusSystem BusSystem::ieee(int buses) {
+  switch (buses) {
+    case 14: return ieee14();
+    case 30: return ieee30();
+    case 57: return ieee57();
+    case 118: return ieee118();
+    default:
+      throw ConfigError("no IEEE test system with " + std::to_string(buses) + " buses");
+  }
+}
+
+BusSystem BusSystem::synthetic(int buses, int branches, std::uint64_t seed) {
+  if (buses < 2) throw ConfigError("synthetic grid needs at least 2 buses");
+  if (branches < buses - 1) {
+    throw ConfigError("synthetic grid needs at least buses-1 branches to be connected");
+  }
+  util::Rng rng(seed);
+  std::vector<Branch> result;
+  std::set<std::pair<int, int>> used;
+  const auto reactance = [&rng] {
+    return 0.02 + rng.uniform01() * 0.58;  // [0.02, 0.6) per unit
+  };
+
+  // Random spanning tree: attach each new bus to a previously placed one,
+  // preferring recent buses to get the chain-with-branches shape of real
+  // transmission grids (low average degree, large diameter).
+  std::vector<int> order(static_cast<std::size_t>(buses));
+  for (int i = 0; i < buses; ++i) order[static_cast<std::size_t>(i)] = i + 1;
+  rng.shuffle(order);
+  for (int i = 1; i < buses; ++i) {
+    const int bus = order[static_cast<std::size_t>(i)];
+    // Bias toward recently added buses: pick from the last few when possible.
+    const std::size_t window = std::min<std::size_t>(static_cast<std::size_t>(i), 5);
+    const std::size_t pick = static_cast<std::size_t>(i) - 1 - rng.index(window);
+    const int parent = order[pick];
+    const auto key = std::minmax(bus, parent);
+    used.insert({key.first, key.second});
+    result.push_back({key.first, key.second, reactance()});
+  }
+
+  // Extra branches up to the target count, avoiding duplicates/self-loops.
+  int guard = 0;
+  while (static_cast<int>(result.size()) < branches) {
+    if (++guard > branches * 1000) {
+      throw ConfigError("synthetic grid: unable to place requested branch count");
+    }
+    const int a = 1 + static_cast<int>(rng.index(static_cast<std::size_t>(buses)));
+    const int b = 1 + static_cast<int>(rng.index(static_cast<std::size_t>(buses)));
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (!used.insert({key.first, key.second}).second) continue;
+    result.push_back({key.first, key.second, reactance()});
+  }
+
+  return BusSystem("synthetic-" + std::to_string(buses), buses, std::move(result));
+}
+
+}  // namespace scada::powersys

@@ -1,0 +1,185 @@
+#include "scada/powersys/estimation.hpp"
+
+#include <cmath>
+
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+namespace {
+
+constexpr double kPivotTolerance = 1e-9;
+
+/// Dense symmetric positive-semidefinite solve via Gaussian elimination with
+/// partial pivoting; returns false when (numerically) singular.
+/// A is n x n row-major and is destroyed; b becomes the solution.
+bool solve_dense(std::vector<double>& a, std::vector<double>& b, std::size_t n) {
+  std::vector<std::size_t> row(n);
+  for (std::size_t i = 0; i < n; ++i) row[i] = i;
+  const auto at = [&](std::size_t r, std::size_t c) -> double& { return a[row[r] * n + c]; };
+
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(at(r, col)) > std::abs(at(pivot, col))) pivot = r;
+    }
+    if (std::abs(at(pivot, col)) < kPivotTolerance) return false;
+    std::swap(row[col], row[pivot]);  // b is always accessed through `row`
+    const double p = at(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = at(r, col) / p;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) at(r, c) -= factor * at(col, c);
+      b[row[r]] -= factor * b[row[col]];
+    }
+  }
+  // Back substitution into x (in pivot order).
+  std::vector<double> x(n, 0.0);
+  for (std::size_t i = n; i-- > 0;) {
+    double sum = b[row[i]];
+    for (std::size_t c = i + 1; c < n; ++c) sum -= at(i, c) * x[c];
+    x[i] = sum / at(i, i);
+  }
+  b = std::move(x);
+  return true;
+}
+
+struct Projected {
+  std::vector<std::size_t> delivered_rows;  // global measurement indices
+  std::vector<std::size_t> columns;         // state columns kept
+  std::vector<double> h;                    // |rows| x |columns| row-major
+};
+
+Projected project(const MeasurementModel& model, const std::vector<bool>& delivered,
+                  std::optional<int> reference_bus) {
+  if (delivered.size() != model.num_measurements()) {
+    throw ConfigError("estimation: delivered vector size mismatch");
+  }
+  Projected p;
+  const std::size_t n = model.num_states();
+  for (std::size_t c = 0; c < n; ++c) {
+    if (reference_bus.has_value() && c == static_cast<std::size_t>(*reference_bus - 1)) {
+      continue;
+    }
+    p.columns.push_back(c);
+  }
+  if (reference_bus.has_value() &&
+      (*reference_bus < 1 || static_cast<std::size_t>(*reference_bus) > n)) {
+    throw ConfigError("estimation: reference bus out of range");
+  }
+  for (std::size_t zrow = 0; zrow < delivered.size(); ++zrow) {
+    if (!delivered[zrow]) continue;
+    p.delivered_rows.push_back(zrow);
+    for (const std::size_t c : p.columns) p.h.push_back(model.jacobian().at(zrow, c));
+  }
+  return p;
+}
+
+/// Computes G = HᵀH (k x k) for the projected system.
+std::vector<double> gram(const Projected& p) {
+  const std::size_t m = p.delivered_rows.size();
+  const std::size_t k = p.columns.size();
+  std::vector<double> g(k * k, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* hr = &p.h[r * k];
+    for (std::size_t i = 0; i < k; ++i) {
+      if (hr[i] == 0.0) continue;
+      for (std::size_t j = 0; j < k; ++j) g[i * k + j] += hr[i] * hr[j];
+    }
+  }
+  return g;
+}
+
+}  // namespace
+
+std::vector<double> synthesize_readings(const MeasurementModel& model,
+                                        const std::vector<double>& state) {
+  if (state.size() != model.num_states()) {
+    throw ConfigError("estimation: state vector size mismatch");
+  }
+  std::vector<double> z(model.num_measurements(), 0.0);
+  for (std::size_t r = 0; r < z.size(); ++r) {
+    double sum = 0.0;
+    for (std::size_t c = 0; c < state.size(); ++c) {
+      sum += model.jacobian().at(r, c) * state[c];
+    }
+    z[r] = sum;
+  }
+  return z;
+}
+
+EstimationResult estimate_dc_state(const MeasurementModel& model,
+                                   const std::vector<bool>& delivered,
+                                   const std::vector<double>& z,
+                                   std::optional<int> reference_bus) {
+  if (z.size() != model.num_measurements()) {
+    throw ConfigError("estimation: reading vector size mismatch");
+  }
+  const Projected p = project(model, delivered, reference_bus);
+  const std::size_t m = p.delivered_rows.size();
+  const std::size_t k = p.columns.size();
+
+  EstimationResult out;
+  out.residuals.assign(model.num_measurements(), 0.0);
+  if (m < k) return out;  // structurally under-determined
+
+  // Normal equations G x = Hᵀ z.
+  std::vector<double> g = gram(p);
+  std::vector<double> rhs(k, 0.0);
+  for (std::size_t r = 0; r < m; ++r) {
+    const double zr = z[p.delivered_rows[r]];
+    for (std::size_t i = 0; i < k; ++i) rhs[i] += p.h[r * k + i] * zr;
+  }
+  if (!solve_dense(g, rhs, k)) return out;
+
+  out.solvable = true;
+  out.state.assign(model.num_states(), 0.0);
+  for (std::size_t i = 0; i < k; ++i) out.state[p.columns[i]] = rhs[i];
+
+  for (std::size_t r = 0; r < m; ++r) {
+    double predicted = 0.0;
+    for (std::size_t i = 0; i < k; ++i) predicted += p.h[r * k + i] * rhs[i];
+    const double residual = z[p.delivered_rows[r]] - predicted;
+    out.residuals[p.delivered_rows[r]] = residual;
+    out.objective += residual * residual;
+  }
+  return out;
+}
+
+BadDataResult detect_bad_data(const MeasurementModel& model,
+                              const std::vector<bool>& delivered,
+                              const std::vector<double>& z, double threshold,
+                              std::optional<int> reference_bus) {
+  BadDataResult out;
+  const EstimationResult est = estimate_dc_state(model, delivered, z, reference_bus);
+  if (!est.solvable) return out;  // nothing to test against
+
+  const Projected p = project(model, delivered, reference_bus);
+  const std::size_t m = p.delivered_rows.size();
+  const std::size_t k = p.columns.size();
+
+  // Residual sensitivity diagonal: S_ii = 1 - h_i (HᵀH)⁻¹ h_iᵀ.
+  // Solve G y = h_i per delivered row (k is small: number of states).
+  for (std::size_t r = 0; r < m; ++r) {
+    std::vector<double> g = gram(p);  // solve_dense destroys its inputs
+    std::vector<double> y(p.h.begin() + static_cast<std::ptrdiff_t>(r * k),
+                          p.h.begin() + static_cast<std::ptrdiff_t>((r + 1) * k));
+    if (!solve_dense(g, y, k)) return out;  // should not happen when solvable
+    double hik = 0.0;
+    for (std::size_t i = 0; i < k; ++i) hik += p.h[r * k + i] * y[i];
+    const double s_ii = 1.0 - hik;
+    const std::size_t global = p.delivered_rows[r];
+    if (s_ii < 1e-6) {
+      out.critical.push_back(global);  // structurally zero residual
+      continue;
+    }
+    const double normalized = std::abs(est.residuals[global]) / std::sqrt(s_ii);
+    if (normalized > out.max_normalized_residual) {
+      out.max_normalized_residual = normalized;
+      out.suspect = global;
+    }
+  }
+  out.detected = out.max_normalized_residual > threshold;
+  return out;
+}
+
+}  // namespace scada::powersys

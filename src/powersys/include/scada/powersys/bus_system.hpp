@@ -1,0 +1,66 @@
+// Transmission-grid bus/branch topologies.
+//
+// The paper sizes its evaluation by IEEE test systems (14/30/57/118 bus).
+// The 14- and 30-bus topologies are embedded with their standard branch
+// reactances. The 57- and 118-bus systems are generated synthetically with
+// the published bus/branch counts and the characteristic average node degree
+// of about 3 (see DESIGN.md, substitutions) — the evaluation uses them purely
+// as problem-size scaling knobs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scada::powersys {
+
+/// A transmission line (or transformer) between two buses. Buses are
+/// 1-based, matching the power-systems literature and the paper's tables.
+struct Branch {
+  int from = 0;
+  int to = 0;
+  double reactance = 0.0;  ///< per-unit series reactance x
+
+  /// DC-model susceptance magnitude b = 1/x used in Jacobian entries.
+  [[nodiscard]] double susceptance() const noexcept { return 1.0 / reactance; }
+};
+
+class BusSystem {
+ public:
+  /// Validates endpoints (1..num_buses, no self-loops) and positive reactance.
+  BusSystem(std::string name, int num_buses, std::vector<Branch> branches);
+
+  /// Embedded IEEE 14-bus test system (20 branches).
+  [[nodiscard]] static BusSystem ieee14();
+  /// Embedded IEEE 30-bus test system (41 branches).
+  [[nodiscard]] static BusSystem ieee30();
+  /// Synthetic 57-bus stand-in (80 branches, deterministic).
+  [[nodiscard]] static BusSystem ieee57();
+  /// Synthetic 118-bus stand-in (186 branches, deterministic).
+  [[nodiscard]] static BusSystem ieee118();
+  /// Dispatches to one of the above; throws ConfigError for other sizes.
+  [[nodiscard]] static BusSystem ieee(int buses);
+
+  /// Random connected grid with the given size and a realistic average
+  /// degree; reactances drawn uniformly from [0.02, 0.6].
+  [[nodiscard]] static BusSystem synthetic(int buses, int branches, std::uint64_t seed);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int num_buses() const noexcept { return num_buses_; }
+  [[nodiscard]] const std::vector<Branch>& branches() const noexcept { return branches_; }
+  [[nodiscard]] std::size_t num_branches() const noexcept { return branches_.size(); }
+
+  /// Indices (into branches()) of branches incident to `bus`.
+  [[nodiscard]] const std::vector<std::size_t>& branches_at(int bus) const;
+
+  [[nodiscard]] bool is_connected() const;
+  [[nodiscard]] double average_degree() const noexcept;
+
+ private:
+  std::string name_;
+  int num_buses_ = 0;
+  std::vector<Branch> branches_;
+  std::vector<std::vector<std::size_t>> incident_;  // bus-1 -> branch indices
+};
+
+}  // namespace scada::powersys

@@ -1,0 +1,72 @@
+// DC state estimation and bad-data detection — the control routine the
+// paper's SCADA delivers measurements to (§II-A: "state estimation is the
+// core component"), and the numerical ground for its dependability story:
+//
+//   * observability (§III-C) is exactly solvability of the estimator,
+//   * r-bad-data detectability (§III-E) is exactly whether a corrupted
+//     measurement leaves a visible residual — a *critical* measurement
+//     (the only one covering a state) has a structurally zero residual and
+//     its corruption is undetectable, which is why every state needs r+1
+//     covering measurements.
+//
+// Weighted least squares on the delivered rows (unit weights), with the
+// largest-normalized-residual test for bad data identification.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "scada/powersys/measurement.hpp"
+
+namespace scada::powersys {
+
+struct EstimationResult {
+  /// The delivered rows determine the state (given the angle reference).
+  bool solvable = false;
+  /// Estimated state per bus (radians); the reference bus is pinned to 0.
+  /// For explicit full-rank models no reference is pinned. Empty if not
+  /// solvable.
+  std::vector<double> state;
+  /// Residual z - H x̂ per *delivered* measurement, ordered by global
+  /// measurement index (non-delivered entries are 0).
+  std::vector<double> residuals;
+  /// Weighted sum of squared residuals.
+  double objective = 0.0;
+};
+
+/// Estimates the state from delivered measurement values. `z[i]` is the
+/// reading of global measurement i; only delivered entries are used.
+/// `reference_bus` (1-based) pins the angle reference for DC models; pass
+/// std::nullopt for explicit models with full column rank (e.g. Table II).
+[[nodiscard]] EstimationResult estimate_dc_state(const MeasurementModel& model,
+                                                 const std::vector<bool>& delivered,
+                                                 const std::vector<double>& z,
+                                                 std::optional<int> reference_bus = 1);
+
+struct BadDataResult {
+  /// True when some normalized residual exceeds the threshold.
+  bool detected = false;
+  /// Global index of the most suspicious measurement (when detected).
+  std::size_t suspect = 0;
+  double max_normalized_residual = 0.0;
+  /// Measurements whose residual is structurally pinned to ~0 (critical
+  /// measurements): corruption of these is invisible to the test.
+  std::vector<std::size_t> critical;
+};
+
+/// Largest-normalized-residual bad-data test on the delivered set.
+/// Residual r_i is normalized by sqrt(S_ii), S = I - H (HᵀH)⁻¹ Hᵀ; entries
+/// with S_ii ~ 0 are reported as critical instead of tested.
+[[nodiscard]] BadDataResult detect_bad_data(const MeasurementModel& model,
+                                            const std::vector<bool>& delivered,
+                                            const std::vector<double>& z,
+                                            double threshold = 3.0,
+                                            std::optional<int> reference_bus = 1);
+
+/// Synthesizes consistent measurement readings z = H x for a ground-truth
+/// state (reference-consistent; handy for tests and demos).
+[[nodiscard]] std::vector<double> synthesize_readings(const MeasurementModel& model,
+                                                      const std::vector<double>& state);
+
+}  // namespace scada::powersys

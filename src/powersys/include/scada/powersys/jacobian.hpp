@@ -1,0 +1,47 @@
+// The measurement Jacobian of DC state estimation.
+//
+// Row Z describes measurement Z as a linear function of the state variables
+// (bus phase angles); h[Z][X] != 0 means state X has an impact on measurement
+// Z — exactly the h_{Z,X} relation the paper's observability constraints are
+// built from (Section III-C).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scada::powersys {
+
+class JacobianMatrix {
+ public:
+  JacobianMatrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from explicit row data (e.g. the paper's Table II matrix).
+  /// All rows must have the same length.
+  [[nodiscard]] static JacobianMatrix from_rows(std::vector<std::vector<double>> rows);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] double at(std::size_t row, std::size_t col) const;
+  void set(std::size_t row, std::size_t col, double value);
+  void add(std::size_t row, std::size_t col, double value);
+
+  /// StateSet_Z: the 0-based state indices with non-zero entries in row Z.
+  [[nodiscard]] std::vector<std::size_t> nonzero_columns(std::size_t row) const;
+
+  /// Canonical signature of a row for unique-measurement grouping: the list
+  /// of (column, quantized value), sign-normalized so that a row and its
+  /// negation (forward vs backward line flow) produce the same signature.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::int64_t>> row_signature(
+      std::size_t row) const;
+
+  [[nodiscard]] std::string to_string(int precision = 2) const;
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;  // row-major
+};
+
+}  // namespace scada::powersys

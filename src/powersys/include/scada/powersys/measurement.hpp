@@ -1,0 +1,86 @@
+// Measurement model: which quantities the field devices meter, the Jacobian
+// they induce, and the unique-measurement grouping (UMsrSet) of §III-C.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scada/powersys/bus_system.hpp"
+#include "scada/powersys/jacobian.hpp"
+
+namespace scada::powersys {
+
+enum class MeasurementType {
+  FlowForward,   ///< line power flow measured at the from-end of a branch
+  FlowBackward,  ///< line power flow measured at the to-end (negated row)
+  Injection,     ///< bus power consumption/injection (sum of incident flows)
+  Explicit,      ///< row given directly (e.g. parsed from a Table-II input)
+};
+
+struct Measurement {
+  MeasurementType type = MeasurementType::Explicit;
+  /// Branch index into BusSystem::branches() for flow measurements.
+  std::optional<std::size_t> branch;
+  /// 1-based bus for injection measurements.
+  std::optional<int> bus;
+
+  [[nodiscard]] static Measurement flow_forward(std::size_t branch_index) {
+    return {MeasurementType::FlowForward, branch_index, std::nullopt};
+  }
+  [[nodiscard]] static Measurement flow_backward(std::size_t branch_index) {
+    return {MeasurementType::FlowBackward, branch_index, std::nullopt};
+  }
+  [[nodiscard]] static Measurement injection(int bus_id) {
+    return {MeasurementType::Injection, std::nullopt, bus_id};
+  }
+};
+
+/// Immutable measurement model. States are the bus phase angles (one state
+/// per bus, matching the paper's 5-state / 5-bus case study; no slack-bus
+/// removal).
+class MeasurementModel {
+ public:
+  /// Builds the Jacobian from a measurement placement over a grid.
+  MeasurementModel(const BusSystem& system, std::vector<Measurement> placement);
+
+  /// Wraps an explicitly given Jacobian (no per-measurement metadata).
+  explicit MeasurementModel(JacobianMatrix jacobian);
+
+  [[nodiscard]] const JacobianMatrix& jacobian() const noexcept { return jacobian_; }
+  [[nodiscard]] std::size_t num_measurements() const noexcept { return jacobian_.rows(); }
+  [[nodiscard]] std::size_t num_states() const noexcept { return jacobian_.cols(); }
+
+  /// StateSet_Z: 0-based states that constitute measurement Z.
+  [[nodiscard]] const std::vector<std::size_t>& state_set(std::size_t z) const;
+
+  /// UMsrSet grouping: measurements whose Jacobian rows are equal up to sign
+  /// represent the same electrical component and share a group.
+  [[nodiscard]] std::size_t num_groups() const noexcept { return groups_.size(); }
+  [[nodiscard]] std::size_t group_of(std::size_t z) const;
+  [[nodiscard]] const std::vector<std::vector<std::size_t>>& groups() const noexcept {
+    return groups_;
+  }
+
+  /// Placement metadata (empty for Explicit models).
+  [[nodiscard]] const std::vector<Measurement>& placement() const noexcept {
+    return placement_;
+  }
+
+  /// The full measurement set of a grid: both-end flows on every branch plus
+  /// an injection at every bus — 2L + n rows, the "maximum possible
+  /// measurements" denominator of the paper's Fig. 7(a) sweep.
+  [[nodiscard]] static std::vector<Measurement> full_placement(const BusSystem& system);
+
+ private:
+  void index_rows();
+
+  JacobianMatrix jacobian_;
+  std::vector<Measurement> placement_;
+  std::vector<std::vector<std::size_t>> state_sets_;
+  std::vector<std::size_t> group_of_;
+  std::vector<std::vector<std::size_t>> groups_;
+};
+
+}  // namespace scada::powersys

@@ -1,0 +1,73 @@
+// Observability checks over a delivered-measurement subset.
+//
+// Two notions are provided:
+//   * counting observability — the paper's §III-C criterion: every state is
+//     covered by some delivered measurement AND the number of delivered
+//     *unique* measurements (UMsrSet groups with at least one delivery) is at
+//     least the number of states. This is what the SMT model encodes, and
+//     what the brute-force oracle in tests recomputes.
+//   * rank observability — the numerically exact criterion: the delivered
+//     Jacobian rows have full column rank. Computed in exact rational
+//     arithmetic; used as a ground-truth comparator.
+//
+// Counting observability is a necessary condition for rank observability on
+// generic data but not sufficient in degenerate cases; tests document the
+// relationship.
+#pragma once
+
+#include <vector>
+
+#include "scada/powersys/measurement.hpp"
+
+namespace scada::powersys {
+
+struct CountingObservability {
+  bool observable = false;
+  /// 0-based states not covered by any delivered measurement.
+  std::vector<std::size_t> uncovered_states;
+  /// Number of UMsrSet groups with at least one delivered measurement.
+  std::size_t delivered_unique = 0;
+  /// Number of states (the threshold delivered_unique is compared against).
+  std::size_t required = 0;
+};
+
+/// Evaluates the paper's counting criterion. `delivered[z]` says whether
+/// measurement z reached the MTU.
+[[nodiscard]] CountingObservability analyze_counting_observability(
+    const MeasurementModel& model, const std::vector<bool>& delivered);
+
+/// Convenience wrapper returning only the verdict.
+[[nodiscard]] bool counting_observable(const MeasurementModel& model,
+                                       const std::vector<bool>& delivered);
+
+/// Exact rank of the delivered row subset (rational Gaussian elimination).
+[[nodiscard]] std::size_t delivered_rank(const MeasurementModel& model,
+                                         const std::vector<bool>& delivered);
+
+/// The rank a delivered subset must reach to pin down the state (up to the
+/// angle reference):
+///  * placement-built (pure DC) models: n-1 — every DC row sums to zero, so
+///    the all-ones vector is always in the null space and n is unreachable;
+///  * explicit-Jacobian models (e.g. the paper's Table II, whose injection
+///    diagonals carry out-of-subsystem terms): the rank of the full row set.
+[[nodiscard]] std::size_t observability_rank_target(const MeasurementModel& model);
+
+/// True iff the delivered rows reach observability_rank_target() (exact
+/// arithmetic). This is the numerical ground truth the paper's counting
+/// criterion approximates.
+[[nodiscard]] bool rank_observable(const MeasurementModel& model,
+                                   const std::vector<bool>& delivered);
+
+/// Classical topological (graph-theoretic) observability for *flow-only*
+/// delivered sets: the grid is observable iff the branches carrying a
+/// delivered flow measurement connect all buses (a spanning connected
+/// subgraph). Equivalent to the rank criterion on flow-only sets — the rank
+/// of edge-incidence rows is n minus the number of connected components —
+/// and far cheaper; used as a third, independent oracle in tests.
+/// Requires a placement-built model; throws if any delivered measurement is
+/// not a line flow.
+[[nodiscard]] bool topological_flow_observable(const BusSystem& system,
+                                               const MeasurementModel& model,
+                                               const std::vector<bool>& delivered);
+
+}  // namespace scada::powersys

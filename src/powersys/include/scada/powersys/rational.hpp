@@ -1,0 +1,64 @@
+// Exact rational arithmetic for the ground-truth observability (rank) check.
+//
+// The paper's observability constraint is a counting approximation; we also
+// provide a numerically exact rank test over the Jacobian so tests can
+// quantify when the approximation is conservative. Doubles are unreliable
+// for rank decisions near singularity, hence exact rationals.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace scada::powersys {
+
+namespace detail {
+// 128-bit intermediate type for overflow-safe rational arithmetic.
+__extension__ using Int128 = __int128;
+}  // namespace detail
+
+/// Arbitrary-value rational over int64 numerator/denominator, always stored
+/// normalized (gcd 1, denominator > 0). Arithmetic uses 128-bit intermediates
+/// and throws scada::ScadaError on overflow of the normalized result.
+class Rational {
+ public:
+  constexpr Rational() noexcept = default;
+  Rational(std::int64_t numerator, std::int64_t denominator);
+  /*implicit*/ Rational(std::int64_t integer) : num_(integer), den_(1) {}  // NOLINT
+
+  /// Exact conversion of a decimal literal with up to `max_decimals` places,
+  /// e.g. from_decimal(-5.05) == -505/100. Values in SCADA Jacobians are
+  /// published with two decimals; the default covers far more.
+  [[nodiscard]] static Rational from_decimal(double value, int max_decimals = 6);
+
+  [[nodiscard]] std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] std::int64_t den() const noexcept { return den_; }
+  [[nodiscard]] bool is_zero() const noexcept { return num_ == 0; }
+  [[nodiscard]] double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  Rational operator/(const Rational& o) const;
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  bool operator==(const Rational& o) const noexcept = default;
+  [[nodiscard]] bool operator<(const Rational& o) const;
+
+ private:
+  static Rational normalized(detail::Int128 num, detail::Int128 den);
+
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace scada::powersys

@@ -1,0 +1,87 @@
+#include "scada/powersys/jacobian.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "scada/util/error.hpp"
+#include "scada/util/table.hpp"
+
+namespace scada::powersys {
+namespace {
+
+// Quantization for signature comparison: Jacobian entries come from published
+// tables (two decimals) or 1/x of per-unit reactances; 1e-6 resolution keeps
+// equal-by-construction entries equal and distinct entries distinct.
+constexpr double kQuantum = 1e6;
+
+std::int64_t quantize(double v) { return std::llround(v * kQuantum); }
+
+}  // namespace
+
+JacobianMatrix::JacobianMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {
+  if (cols == 0) throw ConfigError("JacobianMatrix: zero states");
+}
+
+JacobianMatrix JacobianMatrix::from_rows(std::vector<std::vector<double>> rows) {
+  if (rows.empty()) throw ConfigError("JacobianMatrix: no rows");
+  const std::size_t cols = rows.front().size();
+  JacobianMatrix j(rows.size(), cols);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    if (rows[r].size() != cols) {
+      throw ConfigError("JacobianMatrix: ragged rows (row " + std::to_string(r) + ")");
+    }
+    for (std::size_t c = 0; c < cols; ++c) j.set(r, c, rows[r][c]);
+  }
+  return j;
+}
+
+double JacobianMatrix::at(std::size_t row, std::size_t col) const {
+  if (row >= rows_ || col >= cols_) throw ConfigError("JacobianMatrix: index out of range");
+  return data_[row * cols_ + col];
+}
+
+void JacobianMatrix::set(std::size_t row, std::size_t col, double value) {
+  if (row >= rows_ || col >= cols_) throw ConfigError("JacobianMatrix: index out of range");
+  data_[row * cols_ + col] = value;
+}
+
+void JacobianMatrix::add(std::size_t row, std::size_t col, double value) {
+  set(row, col, at(row, col) + value);
+}
+
+std::vector<std::size_t> JacobianMatrix::nonzero_columns(std::size_t row) const {
+  std::vector<std::size_t> cols;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    if (quantize(at(row, c)) != 0) cols.push_back(c);
+  }
+  return cols;
+}
+
+std::vector<std::pair<std::size_t, std::int64_t>> JacobianMatrix::row_signature(
+    std::size_t row) const {
+  std::vector<std::pair<std::size_t, std::int64_t>> sig;
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const std::int64_t q = quantize(at(row, c));
+    if (q != 0) sig.emplace_back(c, q);
+  }
+  // Sign-normalize: first non-zero positive, so Z and -Z coincide.
+  if (!sig.empty() && sig.front().second < 0) {
+    for (auto& [c, q] : sig) q = -q;
+  }
+  return sig;
+}
+
+std::string JacobianMatrix::to_string(int precision) const {
+  std::ostringstream out;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (c > 0) out << ' ';
+      out << util::fmt_double(at(r, c), precision);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace scada::powersys

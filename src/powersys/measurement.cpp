@@ -1,0 +1,112 @@
+#include "scada/powersys/measurement.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+namespace {
+
+/// Susceptances are quantized to six decimals once per branch so that every
+/// Jacobian entry is an exact sum of exact decimals: injection rows then sum
+/// to zero precisely, which the exact rank computation relies on.
+double quantized_susceptance(const Branch& br) {
+  return std::round(br.susceptance() * 1e6) / 1e6;
+}
+
+JacobianMatrix build_jacobian(const BusSystem& system,
+                              const std::vector<Measurement>& placement) {
+  if (placement.empty()) throw ConfigError("MeasurementModel: empty placement");
+  JacobianMatrix j(placement.size(), static_cast<std::size_t>(system.num_buses()));
+  for (std::size_t z = 0; z < placement.size(); ++z) {
+    const Measurement& m = placement[z];
+    switch (m.type) {
+      case MeasurementType::FlowForward:
+      case MeasurementType::FlowBackward: {
+        if (!m.branch || *m.branch >= system.num_branches()) {
+          throw ConfigError("MeasurementModel: flow measurement with bad branch index");
+        }
+        const Branch& br = system.branches()[*m.branch];
+        const double b = quantized_susceptance(br);
+        const double sign = (m.type == MeasurementType::FlowForward) ? 1.0 : -1.0;
+        j.add(z, static_cast<std::size_t>(br.from - 1), sign * b);
+        j.add(z, static_cast<std::size_t>(br.to - 1), -sign * b);
+        break;
+      }
+      case MeasurementType::Injection: {
+        if (!m.bus || *m.bus < 1 || *m.bus > system.num_buses()) {
+          throw ConfigError("MeasurementModel: injection measurement with bad bus");
+        }
+        const int bus = *m.bus;
+        for (const std::size_t bi : system.branches_at(bus)) {
+          const Branch& br = system.branches()[bi];
+          const double b = quantized_susceptance(br);
+          const int other = (br.from == bus) ? br.to : br.from;
+          j.add(z, static_cast<std::size_t>(bus - 1), b);
+          j.add(z, static_cast<std::size_t>(other - 1), -b);
+        }
+        break;
+      }
+      case MeasurementType::Explicit:
+        throw ConfigError(
+            "MeasurementModel: Explicit measurements need an explicit Jacobian");
+    }
+  }
+  return j;
+}
+
+}  // namespace
+
+MeasurementModel::MeasurementModel(const BusSystem& system, std::vector<Measurement> placement)
+    : jacobian_(build_jacobian(system, placement)), placement_(std::move(placement)) {
+  index_rows();
+}
+
+MeasurementModel::MeasurementModel(JacobianMatrix jacobian) : jacobian_(std::move(jacobian)) {
+  index_rows();
+}
+
+void MeasurementModel::index_rows() {
+  const std::size_t m = jacobian_.rows();
+  state_sets_.resize(m);
+  group_of_.resize(m);
+  std::map<std::vector<std::pair<std::size_t, std::int64_t>>, std::size_t> by_signature;
+  for (std::size_t z = 0; z < m; ++z) {
+    state_sets_[z] = jacobian_.nonzero_columns(z);
+    if (state_sets_[z].empty()) {
+      throw ConfigError("MeasurementModel: measurement " + std::to_string(z) +
+                        " has an all-zero Jacobian row");
+    }
+    const auto sig = jacobian_.row_signature(z);
+    const auto [it, inserted] = by_signature.try_emplace(sig, groups_.size());
+    if (inserted) groups_.emplace_back();
+    group_of_[z] = it->second;
+    groups_[it->second].push_back(z);
+  }
+}
+
+const std::vector<std::size_t>& MeasurementModel::state_set(std::size_t z) const {
+  if (z >= state_sets_.size()) throw ConfigError("MeasurementModel: measurement out of range");
+  return state_sets_[z];
+}
+
+std::size_t MeasurementModel::group_of(std::size_t z) const {
+  if (z >= group_of_.size()) throw ConfigError("MeasurementModel: measurement out of range");
+  return group_of_[z];
+}
+
+std::vector<Measurement> MeasurementModel::full_placement(const BusSystem& system) {
+  std::vector<Measurement> placement;
+  placement.reserve(2 * system.num_branches() + static_cast<std::size_t>(system.num_buses()));
+  for (std::size_t bi = 0; bi < system.num_branches(); ++bi) {
+    placement.push_back(Measurement::flow_forward(bi));
+    placement.push_back(Measurement::flow_backward(bi));
+  }
+  for (int bus = 1; bus <= system.num_buses(); ++bus) {
+    placement.push_back(Measurement::injection(bus));
+  }
+  return placement;
+}
+
+}  // namespace scada::powersys

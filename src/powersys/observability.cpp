@@ -1,0 +1,157 @@
+#include "scada/powersys/observability.hpp"
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "scada/powersys/rational.hpp"
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+
+CountingObservability analyze_counting_observability(const MeasurementModel& model,
+                                                     const std::vector<bool>& delivered) {
+  if (delivered.size() != model.num_measurements()) {
+    throw ConfigError("observability: delivered vector size mismatch");
+  }
+  CountingObservability result;
+  result.required = model.num_states();
+
+  std::vector<bool> covered(model.num_states(), false);
+  std::vector<bool> group_delivered(model.num_groups(), false);
+  for (std::size_t z = 0; z < model.num_measurements(); ++z) {
+    if (!delivered[z]) continue;
+    for (const std::size_t x : model.state_set(z)) covered[x] = true;
+    group_delivered[model.group_of(z)] = true;
+  }
+  for (std::size_t x = 0; x < covered.size(); ++x) {
+    if (!covered[x]) result.uncovered_states.push_back(x);
+  }
+  result.delivered_unique = static_cast<std::size_t>(
+      std::count(group_delivered.begin(), group_delivered.end(), true));
+  result.observable =
+      result.uncovered_states.empty() && result.delivered_unique >= result.required;
+  return result;
+}
+
+bool counting_observable(const MeasurementModel& model, const std::vector<bool>& delivered) {
+  return analyze_counting_observability(model, delivered).observable;
+}
+
+namespace {
+
+/// Rank of the delivered rows over GF(p). Entries are the Jacobian values
+/// scaled by 1e6 (exact integers by construction — see measurement.cpp's
+/// susceptance quantization). Modular rank never exceeds the true rational
+/// rank; taking the maximum over two large primes makes an underestimate
+/// require 31-bit prime factors shared by a minor — impossible for the
+/// magnitudes a grid Jacobian produces, so the result is exact here.
+std::size_t modular_rank(const MeasurementModel& model, const std::vector<bool>& delivered,
+                         std::int64_t p) {
+  const std::size_t n = model.num_states();
+  std::vector<std::vector<std::int64_t>> rows;
+  for (std::size_t z = 0; z < model.num_measurements(); ++z) {
+    if (!delivered[z]) continue;
+    std::vector<std::int64_t> row(n);
+    for (std::size_t c = 0; c < n; ++c) {
+      const auto scaled =
+          static_cast<std::int64_t>(std::llround(model.jacobian().at(z, c) * 1e6));
+      row[c] = ((scaled % p) + p) % p;
+    }
+    rows.push_back(std::move(row));
+  }
+
+  const auto mul = [p](std::int64_t a, std::int64_t b) {
+    return static_cast<std::int64_t>(static_cast<detail::Int128>(a) * b % p);
+  };
+  const auto pow_mod = [&](std::int64_t base, std::int64_t exp) {
+    std::int64_t result = 1;
+    while (exp > 0) {
+      if (exp & 1) result = mul(result, base);
+      base = mul(base, base);
+      exp >>= 1;
+    }
+    return result;
+  };
+  const auto inv = [&](std::int64_t a) { return pow_mod(a, p - 2); };  // p prime
+
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < n && rank < rows.size(); ++col) {
+    std::size_t pivot = rank;
+    while (pivot < rows.size() && rows[pivot][col] == 0) ++pivot;
+    if (pivot == rows.size()) continue;
+    std::swap(rows[rank], rows[pivot]);
+    const std::int64_t pivot_inv = inv(rows[rank][col]);
+    for (std::size_t r = rank + 1; r < rows.size(); ++r) {
+      if (rows[r][col] == 0) continue;
+      const std::int64_t factor = mul(rows[r][col], pivot_inv);
+      for (std::size_t c = col; c < n; ++c) {
+        rows[r][c] = (rows[r][c] - mul(factor, rows[rank][c]) % p + p) % p;
+      }
+    }
+    ++rank;
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::size_t delivered_rank(const MeasurementModel& model, const std::vector<bool>& delivered) {
+  if (delivered.size() != model.num_measurements()) {
+    throw ConfigError("observability: delivered vector size mismatch");
+  }
+  // Two Mersenne-adjacent 31-bit primes.
+  const std::size_t r1 = modular_rank(model, delivered, 2147483647LL);
+  const std::size_t r2 = modular_rank(model, delivered, 2147483629LL);
+  return std::max(r1, r2);
+}
+
+std::size_t observability_rank_target(const MeasurementModel& model) {
+  if (!model.placement().empty()) return model.num_states() - 1;
+  const std::vector<bool> all(model.num_measurements(), true);
+  return delivered_rank(model, all);
+}
+
+bool rank_observable(const MeasurementModel& model, const std::vector<bool>& delivered) {
+  return delivered_rank(model, delivered) == observability_rank_target(model);
+}
+
+bool topological_flow_observable(const BusSystem& system, const MeasurementModel& model,
+                                 const std::vector<bool>& delivered) {
+  if (delivered.size() != model.num_measurements()) {
+    throw ConfigError("observability: delivered vector size mismatch");
+  }
+  if (model.placement().empty()) {
+    throw ConfigError("topological observability needs a placement-built model");
+  }
+
+  // Union-find over buses, merged along measured branches.
+  std::vector<std::size_t> parent(static_cast<std::size_t>(system.num_buses()));
+  for (std::size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  const auto find = [&](std::size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+
+  for (std::size_t z = 0; z < delivered.size(); ++z) {
+    if (!delivered[z]) continue;
+    const Measurement& m = model.placement()[z];
+    if (m.type != MeasurementType::FlowForward && m.type != MeasurementType::FlowBackward) {
+      throw ConfigError("topological_flow_observable: delivered set contains a non-flow");
+    }
+    const Branch& br = system.branches()[m.branch.value()];
+    parent[find(static_cast<std::size_t>(br.from - 1))] =
+        find(static_cast<std::size_t>(br.to - 1));
+  }
+
+  const std::size_t root = find(0);
+  for (std::size_t i = 1; i < parent.size(); ++i) {
+    if (find(i) != root) return false;
+  }
+  return true;
+}
+
+}  // namespace scada::powersys

@@ -1,0 +1,100 @@
+#include "scada/powersys/rational.hpp"
+
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <ostream>
+
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+namespace {
+
+using detail::Int128;
+
+Int128 gcd128(Int128 a, Int128 b) noexcept {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const Int128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+Rational Rational::normalized(Int128 num, Int128 den) {
+  if (den == 0) throw ScadaError("Rational: division by zero");
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  if (num == 0) return Rational{};
+  const Int128 g = gcd128(num, den);
+  num /= g;
+  den /= g;
+  constexpr Int128 lo = std::numeric_limits<std::int64_t>::min();
+  constexpr Int128 hi = std::numeric_limits<std::int64_t>::max();
+  if (num < lo || num > hi || den > hi) {
+    throw ScadaError("Rational: overflow after normalization");
+  }
+  Rational r;
+  r.num_ = static_cast<std::int64_t>(num);
+  r.den_ = static_cast<std::int64_t>(den);
+  return r;
+}
+
+Rational::Rational(std::int64_t numerator, std::int64_t denominator) {
+  *this = normalized(numerator, denominator);
+}
+
+Rational Rational::from_decimal(double value, int max_decimals) {
+  if (!std::isfinite(value)) throw ScadaError("Rational: non-finite value");
+  if (max_decimals < 0 || max_decimals > 17) {
+    throw ScadaError("Rational: unsupported decimal precision");
+  }
+  double scale = 1.0;
+  for (int i = 0; i < max_decimals; ++i) scale *= 10.0;
+  const double scaled = value * scale;
+  if (std::abs(scaled) > 9.0e17) throw ScadaError("Rational: decimal out of range");
+  return normalized(static_cast<Int128>(std::llround(scaled)),
+                    static_cast<Int128>(scale));
+}
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+Rational Rational::operator-() const { return normalized(-static_cast<Int128>(num_), den_); }
+
+Rational Rational::operator+(const Rational& o) const {
+  return normalized(static_cast<Int128>(num_) * o.den_ + static_cast<Int128>(o.num_) * den_,
+                    static_cast<Int128>(den_) * o.den_);
+}
+
+Rational Rational::operator-(const Rational& o) const {
+  return normalized(static_cast<Int128>(num_) * o.den_ - static_cast<Int128>(o.num_) * den_,
+                    static_cast<Int128>(den_) * o.den_);
+}
+
+Rational Rational::operator*(const Rational& o) const {
+  return normalized(static_cast<Int128>(num_) * o.num_,
+                    static_cast<Int128>(den_) * o.den_);
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw ScadaError("Rational: division by zero");
+  return normalized(static_cast<Int128>(num_) * o.den_,
+                    static_cast<Int128>(den_) * o.num_);
+}
+
+bool Rational::operator<(const Rational& o) const {
+  return static_cast<Int128>(num_) * o.den_ < static_cast<Int128>(o.num_) * den_;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) { return os << r.to_string(); }
+
+}  // namespace scada::powersys

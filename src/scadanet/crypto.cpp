@@ -1,0 +1,54 @@
+#include "scada/scadanet/crypto.hpp"
+
+#include "scada/util/strings.hpp"
+
+namespace scada::scadanet {
+
+const char* to_string(CryptoProperty p) noexcept {
+  switch (p) {
+    case CryptoProperty::Authentication: return "authentication";
+    case CryptoProperty::Integrity: return "integrity";
+    case CryptoProperty::Encryption: return "encryption";
+  }
+  return "?";
+}
+
+CryptoRuleRegistry CryptoRuleRegistry::paper_defaults() {
+  CryptoRuleRegistry r;
+  r.allow(CryptoProperty::Authentication, "hmac", 128);
+  r.allow(CryptoProperty::Authentication, "chap", 64);
+  r.allow(CryptoProperty::Authentication, "rsa", 2048);
+  r.allow(CryptoProperty::Integrity, "sha2", 128);
+  r.allow(CryptoProperty::Integrity, "sha256", 128);
+  r.allow(CryptoProperty::Integrity, "aes", 128);
+  r.allow(CryptoProperty::Encryption, "aes", 128);
+  r.allow(CryptoProperty::Encryption, "rsa", 2048);
+  // DES intentionally absent everywhere.
+  return r;
+}
+
+void CryptoRuleRegistry::allow(CryptoProperty property, const std::string& algorithm,
+                               int min_key_bits) {
+  rules_[property][util::to_lower(algorithm)] = min_key_bits;
+}
+
+void CryptoRuleRegistry::revoke(CryptoProperty property, const std::string& algorithm) {
+  const auto it = rules_.find(property);
+  if (it != rules_.end()) it->second.erase(util::to_lower(algorithm));
+}
+
+bool CryptoRuleRegistry::qualifies(const CryptoSuite& suite, CryptoProperty property) const {
+  const auto bits = min_key_bits(property, suite.algorithm);
+  return bits.has_value() && suite.key_bits >= *bits;
+}
+
+std::optional<int> CryptoRuleRegistry::min_key_bits(CryptoProperty property,
+                                                    const std::string& algorithm) const {
+  const auto it = rules_.find(property);
+  if (it == rules_.end()) return std::nullopt;
+  const auto algo_it = it->second.find(util::to_lower(algorithm));
+  if (algo_it == it->second.end()) return std::nullopt;
+  return algo_it->second;
+}
+
+}  // namespace scada::scadanet

@@ -1,0 +1,36 @@
+#include "scada/scadanet/device.hpp"
+
+#include <algorithm>
+
+namespace scada::scadanet {
+
+const char* to_string(DeviceType t) noexcept {
+  switch (t) {
+    case DeviceType::Ied: return "IED";
+    case DeviceType::Rtu: return "RTU";
+    case DeviceType::Mtu: return "MTU";
+    case DeviceType::Router: return "Router";
+  }
+  return "?";
+}
+
+const char* to_string(CommProtocol p) noexcept {
+  switch (p) {
+    case CommProtocol::Modbus: return "modbus";
+    case CommProtocol::Dnp3: return "dnp3";
+    case CommProtocol::Iec61850: return "iec61850";
+  }
+  return "?";
+}
+
+bool Device::supports_protocol(CommProtocol p) const noexcept {
+  return std::find(protocols.begin(), protocols.end(), p) != protocols.end();
+}
+
+bool comm_proto_pairing(const Device& a, const Device& b) noexcept {
+  if (a.type == DeviceType::Router || b.type == DeviceType::Router) return true;
+  return std::any_of(a.protocols.begin(), a.protocols.end(),
+                     [&b](CommProtocol p) { return b.supports_protocol(p); });
+}
+
+}  // namespace scada::scadanet

@@ -1,0 +1,61 @@
+// Crypto strength rules: which (algorithm, key length) suites confer
+// authentication / integrity / encryption (§III-D).
+//
+// The paper's formalization hard-codes rule disjunctions like
+//   (CAlgo_K = hmac  & CKey_K >= 128)  -> Authenticated
+//   (CAlgo_K = sha256 & CKey_K >= 128) -> IntegrityProtected
+// and observes that weak algorithms (DES) must never qualify. Here the rules
+// are data: a registry of minimum key lengths per algorithm and property,
+// pre-populated with the paper's defaults and freely adjustable by the
+// embedding application ("easy extensibility", §II-C).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "scada/scadanet/device.hpp"
+
+namespace scada::scadanet {
+
+enum class CryptoProperty {
+  Authentication,
+  Integrity,
+  Encryption,
+};
+
+[[nodiscard]] const char* to_string(CryptoProperty p) noexcept;
+
+class CryptoRuleRegistry {
+ public:
+  /// Empty registry: no suite qualifies for anything.
+  CryptoRuleRegistry() = default;
+
+  /// The rule set the paper's case study implies:
+  ///   authentication: hmac >= 128, chap >= 64, rsa >= 2048
+  ///   integrity:      sha2/sha256 >= 128, aes >= 128
+  ///   encryption:     aes >= 128, rsa >= 2048
+  /// DES qualifies for nothing ("a good number of vulnerabilities of DES
+  /// have already been found").
+  [[nodiscard]] static CryptoRuleRegistry paper_defaults();
+
+  /// Declares that `algorithm` with at least `min_key_bits` provides the
+  /// property. Algorithm matching is case-insensitive.
+  void allow(CryptoProperty property, const std::string& algorithm, int min_key_bits);
+
+  /// Removes the rule for an algorithm/property (e.g. after a break is
+  /// published, the operator revokes the rule and re-verifies the fleet).
+  void revoke(CryptoProperty property, const std::string& algorithm);
+
+  [[nodiscard]] bool qualifies(const CryptoSuite& suite, CryptoProperty property) const;
+
+  /// Minimum key length required for the property, if the algorithm has a rule.
+  [[nodiscard]] std::optional<int> min_key_bits(CryptoProperty property,
+                                                const std::string& algorithm) const;
+
+ private:
+  // property -> algorithm (lower-case) -> min key bits
+  std::map<CryptoProperty, std::map<std::string, int>> rules_;
+};
+
+}  // namespace scada::scadanet

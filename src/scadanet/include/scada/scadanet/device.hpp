@@ -1,0 +1,62 @@
+// SCADA physical device model: IEDs, RTUs, the MTU, and routers, with their
+// communication protocols and cryptographic capabilities (§III-B).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace scada::scadanet {
+
+enum class DeviceType {
+  Ied,     ///< intelligent electronic device: records measurements
+  Rtu,     ///< remote terminal unit: concentrates and forwards
+  Mtu,     ///< master terminal unit / SCADA control server
+  Router,  ///< transparent network element (no protocol/crypto identity)
+};
+
+[[nodiscard]] const char* to_string(DeviceType t) noexcept;
+
+/// ICS communication protocols (CommProto_i in the paper).
+enum class CommProtocol {
+  Modbus,
+  Dnp3,
+  Iec61850,
+};
+
+[[nodiscard]] const char* to_string(CommProtocol p) noexcept;
+
+/// One cryptographic capability of a device or an agreed pair profile:
+/// an algorithm name and a key length (CAlgo_K, CKey_K).
+struct CryptoSuite {
+  std::string algorithm;  ///< lower-case, e.g. "hmac", "sha2", "aes", "rsa", "chap", "des"
+  int key_bits = 0;
+
+  bool operator==(const CryptoSuite&) const = default;
+  [[nodiscard]] std::string to_string() const {
+    return algorithm + "-" + std::to_string(key_bits);
+  }
+};
+
+struct Device {
+  int id = 0;
+  DeviceType type = DeviceType::Ied;
+  /// Protocols the device can speak. Ignored for routers (transparent).
+  std::vector<CommProtocol> protocols{CommProtocol::Dnp3};
+  /// Device-level crypto capabilities (CryptType_{i,k}); pair profiles can
+  /// also be given directly on the security policy.
+  std::vector<CryptoSuite> suites;
+  /// Informational address (IpAddr_i); not used for reachability, which is
+  /// point-to-point by device id as in the paper.
+  std::string ip_address;
+
+  [[nodiscard]] bool is_field_device() const noexcept {
+    return type == DeviceType::Ied || type == DeviceType::Rtu;
+  }
+  [[nodiscard]] bool supports_protocol(CommProtocol p) const noexcept;
+};
+
+/// True iff the two devices can complete a protocol handshake
+/// (CommProtoPairing_{i,j}): they share a protocol, or either is a router.
+[[nodiscard]] bool comm_proto_pairing(const Device& a, const Device& b) noexcept;
+
+}  // namespace scada::scadanet

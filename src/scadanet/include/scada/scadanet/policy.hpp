@@ -1,0 +1,71 @@
+// Security policy: the agreed crypto suites of each communicating pair, and
+// the pairing / authentication / integrity predicates built on top of them
+// (CryptoPropPairing, Authenticated, IntegrityProtected of §III).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "scada/scadanet/crypto.hpp"
+#include "scada/scadanet/device.hpp"
+#include "scada/scadanet/topology.hpp"
+
+namespace scada::scadanet {
+
+/// Maps unordered device pairs to the crypto suites both sides agreed on —
+/// the "# Security profile between the communicating entities" block of the
+/// paper's Table II input.
+class SecurityPolicy {
+ public:
+  SecurityPolicy() = default;
+
+  /// Registers (replaces) the agreed suites of a pair. Order of a/b is
+  /// irrelevant.
+  void set_pair_suites(int a, int b, std::vector<CryptoSuite> suites);
+
+  /// The agreed suites of a pair, or nullptr when no profile exists.
+  [[nodiscard]] const std::vector<CryptoSuite>* pair_suites(int a, int b) const;
+
+  [[nodiscard]] std::size_t num_profiles() const noexcept { return profiles_.size(); }
+
+  /// Derives pair profiles from device-level capabilities: for every logical
+  /// hop the intersection of the endpoints' suites becomes the agreed set
+  /// (the paper's Crypt_i matching, ∃K CryptType_{i,·}=K ∧ CryptType_{j,·}=K).
+  [[nodiscard]] static SecurityPolicy from_device_suites(const ScadaTopology& topology);
+
+  // --- predicates over logical hops ---
+
+  /// CryptoPropPairing: the pair can complete a security handshake — there
+  /// is an agreed (non-empty) profile, or neither device has any crypto
+  /// capability configured (plain-text pairing trivially matches).
+  [[nodiscard]] bool crypto_pairing(const Device& a, const Device& b) const;
+
+  /// Authenticated_{i,j}: some agreed suite provides authentication.
+  [[nodiscard]] bool authenticated(int a, int b, const CryptoRuleRegistry& rules) const;
+
+  /// IntegrityProtected_{i,j}: some agreed suite provides integrity.
+  [[nodiscard]] bool integrity_protected(int a, int b, const CryptoRuleRegistry& rules) const;
+
+  /// Authenticated and integrity protected — the per-hop requirement of
+  /// SecuredDelivery (§III-D).
+  [[nodiscard]] bool secured_hop(int a, int b, const CryptoRuleRegistry& rules) const {
+    return authenticated(a, b, rules) && integrity_protected(a, b, rules);
+  }
+
+  /// All registered pairs (normalized a < b), for reporting/serialization.
+  [[nodiscard]] std::vector<std::pair<std::pair<int, int>, std::vector<CryptoSuite>>>
+  all_profiles() const;
+
+ private:
+  [[nodiscard]] static std::pair<int, int> key(int a, int b) noexcept {
+    return a < b ? std::pair{a, b} : std::pair{b, a};
+  }
+  [[nodiscard]] bool has_property(int a, int b, const CryptoRuleRegistry& rules,
+                                  CryptoProperty property) const;
+
+  std::map<std::pair<int, int>, std::vector<CryptoSuite>> profiles_;
+};
+
+}  // namespace scada::scadanet

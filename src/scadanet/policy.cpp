@@ -1,0 +1,94 @@
+#include "scada/scadanet/policy.hpp"
+
+#include <algorithm>
+
+namespace scada::scadanet {
+
+void SecurityPolicy::set_pair_suites(int a, int b, std::vector<CryptoSuite> suites) {
+  profiles_[key(a, b)] = std::move(suites);
+}
+
+const std::vector<CryptoSuite>* SecurityPolicy::pair_suites(int a, int b) const {
+  const auto it = profiles_.find(key(a, b));
+  return it == profiles_.end() ? nullptr : &it->second;
+}
+
+SecurityPolicy SecurityPolicy::from_device_suites(const ScadaTopology& topology) {
+  SecurityPolicy policy;
+  // Enumerate logical hops over every IED path plus RTU-to-MTU edges by
+  // walking all links and collapsing router chains: it suffices to intersect
+  // suites of every pair of non-router devices that share a link or are
+  // connected through routers only.
+  const auto non_router_peers = [&](int id) {
+    std::vector<int> peers;
+    std::vector<int> stack{id};
+    std::vector<bool> seen(static_cast<std::size_t>(1), false);
+    std::map<int, bool> visited;
+    visited[id] = true;
+    while (!stack.empty()) {
+      const int at = stack.back();
+      stack.pop_back();
+      for (const int next : topology.neighbors(at)) {
+        if (visited[next]) continue;
+        visited[next] = true;
+        if (topology.device(next).type == DeviceType::Router) {
+          stack.push_back(next);  // traverse through routers
+        } else if (next != id) {
+          peers.push_back(next);
+        }
+      }
+    }
+    (void)seen;
+    return peers;
+  };
+
+  for (const Device& d : topology.devices()) {
+    if (d.type == DeviceType::Router) continue;
+    for (const int peer : non_router_peers(d.id)) {
+      if (peer <= d.id) continue;  // each unordered pair once
+      const Device& other = topology.device(peer);
+      std::vector<CryptoSuite> agreed;
+      for (const CryptoSuite& s : d.suites) {
+        if (std::find(other.suites.begin(), other.suites.end(), s) != other.suites.end()) {
+          agreed.push_back(s);
+        }
+      }
+      if (!agreed.empty()) policy.set_pair_suites(d.id, peer, std::move(agreed));
+    }
+  }
+  return policy;
+}
+
+bool SecurityPolicy::crypto_pairing(const Device& a, const Device& b) const {
+  const auto* suites = pair_suites(a.id, b.id);
+  if (suites != nullptr && !suites->empty()) return true;
+  // No profile: pairing succeeds only if neither side is configured to
+  // expect cryptographic handshaking.
+  return a.suites.empty() && b.suites.empty();
+}
+
+bool SecurityPolicy::has_property(int a, int b, const CryptoRuleRegistry& rules,
+                                  CryptoProperty property) const {
+  const auto* suites = pair_suites(a, b);
+  if (suites == nullptr) return false;
+  return std::any_of(suites->begin(), suites->end(),
+                     [&](const CryptoSuite& s) { return rules.qualifies(s, property); });
+}
+
+bool SecurityPolicy::authenticated(int a, int b, const CryptoRuleRegistry& rules) const {
+  return has_property(a, b, rules, CryptoProperty::Authentication);
+}
+
+bool SecurityPolicy::integrity_protected(int a, int b, const CryptoRuleRegistry& rules) const {
+  return has_property(a, b, rules, CryptoProperty::Integrity);
+}
+
+std::vector<std::pair<std::pair<int, int>, std::vector<CryptoSuite>>>
+SecurityPolicy::all_profiles() const {
+  std::vector<std::pair<std::pair<int, int>, std::vector<CryptoSuite>>> out;
+  out.reserve(profiles_.size());
+  for (const auto& [pair, suites] : profiles_) out.emplace_back(pair, suites);
+  return out;
+}
+
+}  // namespace scada::scadanet

@@ -1,0 +1,146 @@
+#include "scada/scadanet/topology.hpp"
+
+#include <algorithm>
+
+#include "scada/util/error.hpp"
+
+namespace scada::scadanet {
+
+ScadaTopology::ScadaTopology(std::vector<Device> devices, std::vector<Link> links)
+    : devices_(std::move(devices)), links_(std::move(links)) {
+  if (devices_.empty()) throw ConfigError("ScadaTopology: no devices");
+
+  int max_id = 0;
+  for (const Device& d : devices_) {
+    if (d.id < 1) throw ConfigError("ScadaTopology: device ids must be >= 1");
+    max_id = std::max(max_id, d.id);
+  }
+  device_index_by_id_.assign(static_cast<std::size_t>(max_id) + 1, 0);
+  for (std::size_t i = 0; i < devices_.size(); ++i) {
+    auto& slot = device_index_by_id_[static_cast<std::size_t>(devices_[i].id)];
+    if (slot != 0) {
+      throw ConfigError("ScadaTopology: duplicate device id " + std::to_string(devices_[i].id));
+    }
+    slot = i + 1;
+    if (devices_[i].type == DeviceType::Mtu) {
+      // Several MTUs are allowed; the smallest id is the main control
+      // center that every measurement must ultimately reach.
+      if (mtu_id_ == 0 || devices_[i].id < mtu_id_) mtu_id_ = devices_[i].id;
+    }
+  }
+  if (mtu_id_ == 0) throw ConfigError("ScadaTopology: no MTU device");
+
+  adjacency_.resize(devices_.size());
+  std::vector<bool> link_id_seen;
+  for (std::size_t li = 0; li < links_.size(); ++li) {
+    const Link& l = links_[li];
+    if (l.id < 1) throw ConfigError("ScadaTopology: link ids must be >= 1");
+    if (static_cast<std::size_t>(l.id) >= link_id_seen.size()) {
+      link_id_seen.resize(static_cast<std::size_t>(l.id) + 1, false);
+    }
+    if (link_id_seen[static_cast<std::size_t>(l.id)]) {
+      throw ConfigError("ScadaTopology: duplicate link id " + std::to_string(l.id));
+    }
+    link_id_seen[static_cast<std::size_t>(l.id)] = true;
+    if (!has_device(l.a) || !has_device(l.b)) {
+      throw ConfigError("ScadaTopology: link " + std::to_string(l.id) +
+                        " references unknown device");
+    }
+    if (l.a == l.b) {
+      throw ConfigError("ScadaTopology: link " + std::to_string(l.id) + " is a self-loop");
+    }
+    adjacency_[index_of(l.a)].push_back(li);
+    adjacency_[index_of(l.b)].push_back(li);
+  }
+}
+
+std::size_t ScadaTopology::index_of(int id) const {
+  if (!has_device(id)) throw ConfigError("ScadaTopology: unknown device " + std::to_string(id));
+  return device_index_by_id_[static_cast<std::size_t>(id)] - 1;
+}
+
+bool ScadaTopology::has_device(int id) const noexcept {
+  return id >= 1 && static_cast<std::size_t>(id) < device_index_by_id_.size() &&
+         device_index_by_id_[static_cast<std::size_t>(id)] != 0;
+}
+
+const Device& ScadaTopology::device(int id) const { return devices_[index_of(id)]; }
+
+const Link& ScadaTopology::link(int id) const {
+  for (const Link& l : links_) {
+    if (l.id == id) return l;
+  }
+  throw ConfigError("ScadaTopology: unknown link " + std::to_string(id));
+}
+
+std::vector<int> ScadaTopology::ids_of(DeviceType type) const {
+  std::vector<int> ids;
+  for (const Device& d : devices_) {
+    if (d.type == type) ids.push_back(d.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+std::vector<int> ScadaTopology::neighbors(int id) const {
+  std::vector<int> out;
+  for (const std::size_t li : adjacency_[index_of(id)]) {
+    const Link& l = links_[li];
+    out.push_back(l.a == id ? l.b : l.a);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<ForwardingPath> ScadaTopology::paths_to_mtu(int ied_id,
+                                                        std::size_t max_paths) const {
+  if (device(ied_id).type != DeviceType::Ied) {
+    throw ConfigError("paths_to_mtu: device " + std::to_string(ied_id) + " is not an IED");
+  }
+  std::vector<ForwardingPath> result;
+  std::vector<bool> on_path(devices_.size(), false);
+  ForwardingPath current;
+  current.devices.push_back(ied_id);
+  on_path[index_of(ied_id)] = true;
+
+  const auto dfs = [&](auto&& self, int at) -> void {
+    if (result.size() >= max_paths) return;
+    if (at == mtu_id_) {
+      result.push_back(current);
+      return;
+    }
+    for (const std::size_t li : adjacency_[index_of(at)]) {
+      const Link& l = links_[li];
+      const int next = (l.a == at) ? l.b : l.a;
+      const std::size_t next_idx = index_of(next);
+      if (on_path[next_idx]) continue;
+      // Data flows up the acquisition hierarchy: measurements never route
+      // *through* another IED (IEDs are sources, not forwarders).
+      if (devices_[next_idx].type == DeviceType::Ied) continue;
+      on_path[next_idx] = true;
+      current.devices.push_back(next);
+      current.link_ids.push_back(l.id);
+      self(self, next);
+      current.devices.pop_back();
+      current.link_ids.pop_back();
+      on_path[next_idx] = false;
+    }
+  };
+  dfs(dfs, ied_id);
+  return result;
+}
+
+std::vector<std::pair<int, int>> ScadaTopology::logical_hops(const ForwardingPath& path,
+                                                             const ScadaTopology& topology) {
+  std::vector<std::pair<int, int>> hops;
+  int previous = 0;
+  for (const int id : path.devices) {
+    if (topology.device(id).type == DeviceType::Router) continue;
+    if (previous != 0) hops.emplace_back(previous, id);
+    previous = id;
+  }
+  return hops;
+}
+
+}  // namespace scada::scadanet

@@ -1,0 +1,527 @@
+#include "scada/smt/cdcl.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "scada/util/error.hpp"
+
+namespace scada::smt {
+
+CdclSolver::CdclSolver(CdclConfig config) : config_(config) {
+  // Var 0 is reserved; allocate its slots so indexing by Var is direct.
+  assign_.push_back(LBool::Undef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  saved_phase_.push_back(false);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(false);
+  model_.push_back(false);
+  watches_.resize(2);  // codes 0,1 of the reserved var
+  learned_limit_ = static_cast<double>(config_.learned_base);
+}
+
+Var CdclSolver::new_var() {
+  const Var v = static_cast<Var>(assign_.size());
+  assign_.push_back(LBool::Undef);
+  level_.push_back(0);
+  reason_.push_back(kNoReason);
+  saved_phase_.push_back(false);
+  activity_.push_back(0.0);
+  heap_pos_.push_back(-1);
+  seen_.push_back(false);
+  model_.push_back(false);
+  watches_.resize(watches_.size() + 2);
+  heap_insert(v);
+  return v;
+}
+
+void CdclSolver::ensure_var(Var v) {
+  while (num_vars() < v) new_var();
+}
+
+void CdclSolver::attach_clause(ClauseRef cref) {
+  const auto& lits = clauses_[cref].lits;
+  assert(lits.size() >= 2);
+  watches(~lits[0]).push_back(Watcher{cref, lits[1]});
+  watches(~lits[1]).push_back(Watcher{cref, lits[0]});
+}
+
+bool CdclSolver::add_clause(std::span<const Lit> lits_in) {
+  if (unsat_) return false;
+  // New clauses are added at decision level 0 only.
+  cancel_until(0);
+
+  // Normalize: drop duplicates and false literals, detect tautology/satisfied.
+  std::vector<Lit> lits(lits_in.begin(), lits_in.end());
+  for (const Lit l : lits) ensure_var(l.var());
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> normalized;
+  normalized.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i + 1 < lits.size() && lits[i + 1].code == (l.code ^ 1)) return true;  // l and ~l
+    if (i > 0 && lits[i - 1] == l) continue;                                   // duplicate
+    const LBool v = value(l);
+    if (v == LBool::True) return true;  // already satisfied at level 0
+    if (v == LBool::False) continue;    // permanently false literal
+    normalized.push_back(l);
+  }
+
+  if (normalized.empty()) {
+    unsat_ = true;
+    return false;
+  }
+  if (normalized.size() == 1) {
+    enqueue(normalized[0], kNoReason);
+    if (propagate() != kNoReason) unsat_ = true;
+    return !unsat_;
+  }
+
+  const auto cref = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(InternalClause{std::move(normalized), 0.0, false, false});
+  ++num_problem_clauses_;
+  attach_clause(cref);
+  return true;
+}
+
+void CdclSolver::enqueue(Lit l, ClauseRef reason) {
+  assert(value(l) == LBool::Undef);
+  const auto v = static_cast<std::size_t>(l.var());
+  assign_[v] = l.negated() ? LBool::False : LBool::True;
+  level_[v] = decision_level();
+  reason_[v] = reason;
+  trail_.push_back(l);
+}
+
+CdclSolver::ClauseRef CdclSolver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_.propagations;
+    auto& ws = watches(p);
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (value(w.blocker) == LBool::True) {
+        ws[keep++] = w;
+        continue;
+      }
+      InternalClause& c = clauses_[w.cref];
+      if (c.removed) continue;  // lazily drop watchers of deleted clauses
+      auto& lits = c.lits;
+      // Ensure the falsified literal (~p) sits at index 1.
+      const Lit not_p = ~p;
+      if (lits[0] == not_p) std::swap(lits[0], lits[1]);
+      assert(lits[1] == not_p);
+      if (value(lits[0]) == LBool::True) {
+        ws[keep++] = Watcher{w.cref, lits[0]};
+        continue;
+      }
+      // Find a new literal to watch.
+      bool moved = false;
+      for (std::size_t j = 2; j < lits.size(); ++j) {
+        if (value(lits[j]) != LBool::False) {
+          std::swap(lits[1], lits[j]);
+          watches(~lits[1]).push_back(Watcher{w.cref, lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      if (value(lits[0]) == LBool::False) {
+        // Conflict: restore remaining watchers and report.
+        for (std::size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
+        ws.resize(keep);
+        propagate_head_ = trail_.size();
+        return w.cref;
+      }
+      ws[keep++] = w;
+      enqueue(lits[0], w.cref);
+    }
+    ws.resize(keep);
+  }
+  return kNoReason;
+}
+
+void CdclSolver::cancel_until(std::uint32_t target_level) {
+  if (decision_level() <= target_level) return;
+  const std::size_t bound = trail_lim_[target_level];
+  for (std::size_t i = trail_.size(); i > bound; --i) {
+    const Var v = trail_[i - 1].var();
+    const auto vi = static_cast<std::size_t>(v);
+    saved_phase_[vi] = (assign_[vi] == LBool::True);
+    assign_[vi] = LBool::Undef;
+    reason_[vi] = kNoReason;
+    if (!heap_contains(v)) heap_insert(v);
+  }
+  trail_.resize(bound);
+  trail_lim_.resize(target_level);
+  propagate_head_ = trail_.size();
+}
+
+void CdclSolver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
+                         std::uint32_t& backtrack_level) {
+  learned.clear();
+  learned.push_back(Lit{});  // placeholder for the asserting (first-UIP) literal
+
+  std::uint32_t counter = 0;  // literals of the current level still to resolve
+  Lit p{};
+  bool have_p = false;
+  std::size_t trail_index = trail_.size();
+  ClauseRef reason_ref = conflict;
+
+  for (;;) {
+    assert(reason_ref != kNoReason);
+    InternalClause& c = clauses_[reason_ref];
+    if (c.learned) bump_clause(c);
+    for (const Lit q : c.lits) {
+      if (have_p && q == p) continue;
+      const auto qv = static_cast<std::size_t>(q.var());
+      if (seen_[qv] || level_[qv] == 0) continue;
+      seen_[qv] = true;
+      bump_var(q.var());
+      if (level_[qv] == decision_level()) {
+        ++counter;
+      } else {
+        learned.push_back(q);
+      }
+    }
+    // Walk the trail backwards to the next marked literal of this level.
+    do {
+      --trail_index;
+    } while (!seen_[static_cast<std::size_t>(trail_[trail_index].var())]);
+    p = trail_[trail_index];
+    have_p = true;
+    seen_[static_cast<std::size_t>(p.var())] = false;
+    reason_ref = reason_[static_cast<std::size_t>(p.var())];
+    if (--counter == 0) break;
+  }
+  learned[0] = ~p;
+
+  // Remember every var marked in this round; minimization may drop literals
+  // from `learned`, but their seen_ marks must still be cleared at the end.
+  std::vector<Var> to_clear;
+  to_clear.reserve(learned.size());
+  for (std::size_t i = 1; i < learned.size(); ++i) to_clear.push_back(learned[i].var());
+
+  // Learned-clause minimization: drop literals whose negation is implied by
+  // the rest of the clause (checked through the implication graph).
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    abstract_levels |= 1u << (level_[static_cast<std::size_t>(learned[i].var())] & 31u);
+  }
+  std::size_t kept = 1;
+  for (std::size_t i = 1; i < learned.size(); ++i) {
+    const auto v = static_cast<std::size_t>(learned[i].var());
+    if (reason_[v] == kNoReason || !literal_redundant(learned[i], abstract_levels)) {
+      learned[kept++] = learned[i];
+    } else {
+      ++stats_.minimized_literals;
+    }
+  }
+  learned.resize(kept);
+
+  // Compute backtrack level = second-highest level in the clause.
+  if (learned.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learned.size(); ++i) {
+      if (level_[static_cast<std::size_t>(learned[i].var())] >
+          level_[static_cast<std::size_t>(learned[max_i].var())]) {
+        max_i = i;
+      }
+    }
+    std::swap(learned[1], learned[max_i]);
+    backtrack_level = level_[static_cast<std::size_t>(learned[1].var())];
+  }
+
+  for (const Var v : to_clear) seen_[static_cast<std::size_t>(v)] = false;
+}
+
+bool CdclSolver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
+  // DFS through reasons; all antecedents must be marked or themselves redundant.
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  std::vector<Var> marked;  // vars we tentatively marked during this check
+
+  while (!analyze_stack_.empty()) {
+    const Lit cur = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const ClauseRef r = reason_[static_cast<std::size_t>(cur.var())];
+    if (r == kNoReason) {
+      for (const Var v : marked) seen_[static_cast<std::size_t>(v)] = false;
+      return false;
+    }
+    for (const Lit q : clauses_[r].lits) {
+      const auto qv = static_cast<std::size_t>(q.var());
+      if (q.var() == cur.var() || seen_[qv] || level_[qv] == 0) continue;
+      // A literal from a level absent from the clause can never be redundant.
+      if (reason_[qv] == kNoReason ||
+          ((1u << (level_[qv] & 31u)) & abstract_levels) == 0) {
+        for (const Var v : marked) seen_[static_cast<std::size_t>(v)] = false;
+        return false;
+      }
+      seen_[qv] = true;
+      marked.push_back(q.var());
+      analyze_stack_.push_back(q);
+    }
+  }
+  // Keep marks: they legitimately extend the seen set for later checks within
+  // this analyze() round — standard MiniSat behaviour — but we must clear them
+  // before analyze() finishes; analyze() only clears kept literals, so clear
+  // the tentative marks here to stay conservative.
+  for (const Var v : marked) seen_[static_cast<std::size_t>(v)] = false;
+  return true;
+}
+
+void CdclSolver::bump_var(Var v) {
+  auto& a = activity_[static_cast<std::size_t>(v)];
+  a += var_inc_;
+  if (a > 1e100) {
+    for (auto& x : activity_) x *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_contains(v)) heap_update(v);
+}
+
+void CdclSolver::decay_var_activity() { var_inc_ /= config_.var_decay; }
+
+void CdclSolver::bump_clause(InternalClause& c) {
+  c.activity += clause_inc_;
+  if (c.activity > 1e20) {
+    for (const ClauseRef r : learned_refs_) clauses_[r].activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void CdclSolver::decay_clause_activity() { clause_inc_ /= config_.clause_decay; }
+
+Lit CdclSolver::pick_branch_literal() {
+  while (!heap_.empty()) {
+    const Var v = heap_pop();
+    if (assign_[static_cast<std::size_t>(v)] == LBool::Undef) {
+      return Lit{v, !saved_phase_[static_cast<std::size_t>(v)]};
+    }
+  }
+  return Lit{};  // all assigned
+}
+
+void CdclSolver::reduce_learned_db() {
+  std::sort(learned_refs_.begin(), learned_refs_.end(), [this](ClauseRef a, ClauseRef b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  const std::size_t target = learned_refs_.size() / 2;
+  std::size_t removed = 0;
+  std::vector<ClauseRef> kept;
+  kept.reserve(learned_refs_.size());
+  for (const ClauseRef r : learned_refs_) {
+    InternalClause& c = clauses_[r];
+    const bool is_reason = [&] {
+      // A clause currently acting as a reason must stay.
+      const Lit first = c.lits[0];
+      const auto v = static_cast<std::size_t>(first.var());
+      return assign_[v] != LBool::Undef && reason_[v] == r;
+    }();
+    if (removed < target && c.lits.size() > 2 && !is_reason) {
+      c.removed = true;
+      c.lits.clear();
+      c.lits.shrink_to_fit();
+      ++removed;
+      ++stats_.removed_clauses;
+    } else {
+      kept.push_back(r);
+    }
+  }
+  learned_refs_ = std::move(kept);
+  // Watcher lists still contain stale entries; propagate() skips them lazily,
+  // and we purge them here to keep the lists tight.
+  for (auto& ws : watches_) {
+    std::erase_if(ws, [this](const Watcher& w) { return clauses_[w.cref].removed; });
+  }
+}
+
+std::uint32_t CdclSolver::luby(std::uint32_t i) noexcept {
+  // MiniSat formulation over the 0-based index x: find the finite
+  // subsequence containing x and the position of x within it.
+  std::uint32_t x = i - 1;
+  std::uint32_t size = 1;
+  std::uint32_t seq = 0;
+  while (size < x + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != x) {
+    size = (size - 1) >> 1;
+    --seq;
+    x %= size;
+  }
+  return 1u << seq;
+}
+
+SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
+  if (unsat_) return SolveResult::Unsat;
+  for (const Lit a : assumptions) ensure_var(a.var());
+  cancel_until(0);
+  if (propagate() != kNoReason) {
+    unsat_ = true;
+    return SolveResult::Unsat;
+  }
+
+  std::vector<Lit> learned;
+  std::uint32_t restart_count = 0;
+  std::uint64_t conflicts_until_restart =
+      static_cast<std::uint64_t>(luby(++restart_count)) * config_.restart_base;
+  std::uint64_t conflicts_this_solve = 0;
+
+  for (;;) {
+    const ClauseRef conflict = propagate();
+    if (conflict != kNoReason) {
+      ++stats_.conflicts;
+      ++conflicts_this_solve;
+      if (decision_level() == 0) {
+        unsat_ = true;
+        return SolveResult::Unsat;
+      }
+      std::uint32_t backtrack_level = 0;
+      analyze(conflict, learned, backtrack_level);
+      // Backtracking below the assumption prefix is fine: the loop below
+      // re-places assumptions, and a now-false assumption yields Unsat there.
+      cancel_until(backtrack_level);
+      if (learned.size() == 1) {
+        enqueue(learned[0], kNoReason);
+      } else {
+        const auto cref = static_cast<ClauseRef>(clauses_.size());
+        clauses_.push_back(InternalClause{learned, 0.0, true, false});
+        learned_refs_.push_back(cref);
+        ++stats_.learned_clauses;
+        attach_clause(cref);
+        bump_clause(clauses_[cref]);
+        enqueue(learned[0], cref);
+      }
+      decay_var_activity();
+      decay_clause_activity();
+
+      if (config_.max_conflicts != 0 && conflicts_this_solve >= config_.max_conflicts) {
+        cancel_until(0);
+        return SolveResult::Unknown;
+      }
+      if (conflicts_until_restart > 0) --conflicts_until_restart;
+      continue;
+    }
+
+    // No conflict.
+    if (conflicts_until_restart == 0 && decision_level() > assumptions.size()) {
+      ++stats_.restarts;
+      conflicts_until_restart =
+          static_cast<std::uint64_t>(luby(++restart_count)) * config_.restart_base;
+      cancel_until(static_cast<std::uint32_t>(assumptions.size()));
+      continue;
+    }
+    if (learned_refs_.size() >= static_cast<std::size_t>(learned_limit_)) {
+      reduce_learned_db();
+      learned_limit_ *= config_.learned_growth;
+    }
+
+    // Place pending assumptions as decisions.
+    if (decision_level() < assumptions.size()) {
+      const Lit a = assumptions[decision_level()];
+      const LBool v = value(a);
+      if (v == LBool::True) {
+        // Already satisfied; open an empty decision level to keep the
+        // level <-> assumption-index correspondence.
+        trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+        continue;
+      }
+      if (v == LBool::False) {
+        cancel_until(0);
+        return SolveResult::Unsat;
+      }
+      trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+      enqueue(a, kNoReason);
+      continue;
+    }
+
+    const Lit next = pick_branch_literal();
+    if (next.code == 0) {
+      // Complete assignment: record the model.
+      for (Var v = 1; v <= num_vars(); ++v) {
+        model_[static_cast<std::size_t>(v)] =
+            (assign_[static_cast<std::size_t>(v)] == LBool::True);
+      }
+      cancel_until(0);
+      return SolveResult::Sat;
+    }
+    ++stats_.decisions;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    enqueue(next, kNoReason);
+  }
+}
+
+bool CdclSolver::model_value(Var v) const {
+  if (v < 1 || v > num_vars()) throw ConfigError("model_value: unknown variable");
+  return model_[static_cast<std::size_t>(v)];
+}
+
+// --- indexed binary max-heap ---
+
+void CdclSolver::heap_insert(Var v) {
+  assert(!heap_contains(v));
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(v);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void CdclSolver::heap_update(Var v) {
+  const auto i = static_cast<std::size_t>(heap_pos_[static_cast<std::size_t>(v)]);
+  heap_sift_up(i);  // activity only increases on bump
+}
+
+Var CdclSolver::heap_pop() {
+  assert(!heap_.empty());
+  const Var top = heap_[0];
+  heap_pos_[static_cast<std::size_t>(top)] = -1;
+  if (heap_.size() > 1) {
+    heap_[0] = heap_.back();
+    heap_pos_[static_cast<std::size_t>(heap_[0])] = 0;
+    heap_.pop_back();
+    heap_sift_down(0);
+  } else {
+    heap_.pop_back();
+  }
+  return top;
+}
+
+void CdclSolver::heap_sift_up(std::size_t i) {
+  const Var v = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!heap_less(heap_[parent], v)) break;
+    heap_[i] = heap_[parent];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = parent;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+void CdclSolver::heap_sift_down(std::size_t i) {
+  const Var v = heap_[i];
+  for (;;) {
+    const std::size_t left = 2 * i + 1;
+    if (left >= heap_.size()) break;
+    const std::size_t right = left + 1;
+    const std::size_t child =
+        (right < heap_.size() && heap_less(heap_[left], heap_[right])) ? right : left;
+    if (!heap_less(v, heap_[child])) break;
+    heap_[i] = heap_[child];
+    heap_pos_[static_cast<std::size_t>(heap_[i])] = static_cast<std::int32_t>(i);
+    i = child;
+  }
+  heap_[i] = v;
+  heap_pos_[static_cast<std::size_t>(v)] = static_cast<std::int32_t>(i);
+}
+
+}  // namespace scada::smt

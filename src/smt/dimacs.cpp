@@ -1,0 +1,79 @@
+#include "scada/smt/dimacs.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "scada/util/error.hpp"
+
+namespace scada::smt {
+
+DimacsInstance read_dimacs(std::istream& in) {
+  DimacsInstance instance;
+  std::size_t declared_clauses = 0;
+  bool have_header = false;
+  Clause current;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    if (line[0] == 'p') {
+      std::istringstream header(line);
+      std::string p, fmt;
+      long vars = 0, clauses = 0;
+      if (!(header >> p >> fmt >> vars >> clauses) || fmt != "cnf" || vars < 0 || clauses < 0) {
+        throw ParseError("malformed DIMACS header: " + line);
+      }
+      instance.num_vars = static_cast<Var>(vars);
+      declared_clauses = static_cast<std::size_t>(clauses);
+      have_header = true;
+      continue;
+    }
+    if (!have_header) throw ParseError("DIMACS clause before header");
+    std::istringstream body(line);
+    long v = 0;
+    while (body >> v) {
+      if (v == 0) {
+        instance.clauses.push_back(current);
+        current.clear();
+      } else {
+        const Var var = static_cast<Var>(v < 0 ? -v : v);
+        if (var > instance.num_vars) {
+          throw ParseError("DIMACS literal exceeds declared variable count");
+        }
+        current.push_back(Lit{var, v < 0});
+      }
+    }
+  }
+  if (!have_header) throw ParseError("missing DIMACS header");
+  if (!current.empty()) throw ParseError("unterminated DIMACS clause");
+  if (instance.clauses.size() != declared_clauses) {
+    throw ParseError("DIMACS clause count mismatch: declared " +
+                     std::to_string(declared_clauses) + ", found " +
+                     std::to_string(instance.clauses.size()));
+  }
+  return instance;
+}
+
+DimacsInstance read_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs(in);
+}
+
+void write_dimacs(std::ostream& out, const DimacsInstance& instance) {
+  out << "p cnf " << instance.num_vars << ' ' << instance.clauses.size() << '\n';
+  for (const Clause& clause : instance.clauses) {
+    for (const Lit l : clause) {
+      out << (l.negated() ? -static_cast<long>(l.var()) : static_cast<long>(l.var())) << ' ';
+    }
+    out << "0\n";
+  }
+}
+
+std::string write_dimacs_string(const DimacsInstance& instance) {
+  std::ostringstream out;
+  write_dimacs(out, instance);
+  return out.str();
+}
+
+}  // namespace scada::smt

@@ -1,0 +1,225 @@
+#include "scada/smt/formula.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "scada/util/error.hpp"
+
+namespace scada::smt {
+namespace {
+
+// Node ids 0 and 1 are pinned to False/True by the constructor.
+constexpr std::int32_t kFalseId = 0;
+constexpr std::int32_t kTrueId = 1;
+
+}  // namespace
+
+std::size_t FormulaBuilder::NodeKeyHash::operator()(const NodeKey& k) const noexcept {
+  std::size_t h = static_cast<std::size_t>(k.kind) * 0x9E3779B97F4A7C15ULL;
+  h ^= static_cast<std::size_t>(k.bound) + 0x9E3779B9U + (h << 6) + (h >> 2);
+  h ^= static_cast<std::size_t>(k.var) + 0x85EBCA6BU + (h << 6) + (h >> 2);
+  for (std::int32_t op : k.operands) {
+    h ^= static_cast<std::size_t>(op) + 0xC2B2AE35U + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+FormulaBuilder::FormulaBuilder() {
+  nodes_.push_back(FormulaNode{NodeKind::False, 0, 0, {}});
+  nodes_.push_back(FormulaNode{NodeKind::True, 0, 0, {}});
+}
+
+Formula FormulaBuilder::intern(NodeKey key) {
+  const auto it = interned_.find(key);
+  if (it != interned_.end()) return Formula{it->second};
+  FormulaNode node;
+  node.kind = key.kind;
+  node.bound = key.bound;
+  node.var = key.var;
+  node.operands.reserve(key.operands.size());
+  for (std::int32_t op : key.operands) node.operands.push_back(Formula{op});
+  const auto id = static_cast<std::int32_t>(nodes_.size());
+  nodes_.push_back(std::move(node));
+  interned_.emplace(std::move(key), id);
+  return Formula{id};
+}
+
+Formula FormulaBuilder::mk_var(std::string name) {
+  const Var v = next_var_++;
+  if (name.empty()) name = "v" + std::to_string(v);
+  var_names_.push_back(std::move(name));
+  const Formula f = intern(NodeKey{NodeKind::Leaf, 0, v, {}});
+  var_leaf_.push_back(f.id);
+  return f;
+}
+
+Formula FormulaBuilder::var_formula(Var v) const {
+  if (v < 1 || v >= next_var_) throw ConfigError("unknown variable " + std::to_string(v));
+  return Formula{var_leaf_[static_cast<std::size_t>(v - 1)]};
+}
+
+const FormulaNode& FormulaBuilder::node(Formula f) const {
+  if (!f.valid() || static_cast<std::size_t>(f.id) >= nodes_.size()) {
+    throw ConfigError("invalid formula handle");
+  }
+  return nodes_[static_cast<std::size_t>(f.id)];
+}
+
+const std::string& FormulaBuilder::var_name(Var v) const {
+  if (v < 1 || v >= next_var_) throw ConfigError("unknown variable " + std::to_string(v));
+  return var_names_[static_cast<std::size_t>(v - 1)];
+}
+
+Var FormulaBuilder::var_of(Formula f) const {
+  const FormulaNode& n = node(f);
+  if (n.kind != NodeKind::Leaf) throw ConfigError("formula is not a variable leaf");
+  return n.var;
+}
+
+Formula FormulaBuilder::mk_not(Formula f) {
+  const FormulaNode& n = node(f);
+  switch (n.kind) {
+    case NodeKind::False: return mk_true();
+    case NodeKind::True: return mk_false();
+    case NodeKind::Not: return n.operands[0];  // double negation
+    default: break;
+  }
+  return intern(NodeKey{NodeKind::Not, 0, 0, {f.id}});
+}
+
+Formula FormulaBuilder::mk_nary(NodeKind kind, std::span<const Formula> fs) {
+  const bool is_and = (kind == NodeKind::And);
+  const std::int32_t absorbing = is_and ? kFalseId : kTrueId;   // x&false, x|true
+  const std::int32_t identity = is_and ? kTrueId : kFalseId;    // x&true,  x|false
+
+  // Flatten nested same-kind nodes, drop identities, detect absorbing element.
+  std::vector<std::int32_t> ops;
+  ops.reserve(fs.size());
+  const auto absorb = [&](auto&& self, Formula f) -> bool {
+    const FormulaNode& n = node(f);
+    if (f.id == absorbing) return true;
+    if (f.id == identity) return false;
+    if (n.kind == kind) {
+      for (Formula child : n.operands) {
+        if (self(self, child)) return true;
+      }
+      return false;
+    }
+    ops.push_back(f.id);
+    return false;
+  };
+  for (Formula f : fs) {
+    if (absorb(absorb, f)) return Formula{absorbing};
+  }
+
+  std::sort(ops.begin(), ops.end());
+  ops.erase(std::unique(ops.begin(), ops.end()), ops.end());
+
+  // Complement detection: x AND !x == false, x OR !x == true.
+  for (std::int32_t op : ops) {
+    const FormulaNode& n = nodes_[static_cast<std::size_t>(op)];
+    if (n.kind == NodeKind::Not &&
+        std::binary_search(ops.begin(), ops.end(), n.operands[0].id)) {
+      return Formula{absorbing};
+    }
+  }
+
+  if (ops.empty()) return Formula{identity};
+  if (ops.size() == 1) return Formula{ops[0]};
+  return intern(NodeKey{kind, 0, 0, std::move(ops)});
+}
+
+Formula FormulaBuilder::mk_and(std::span<const Formula> fs) { return mk_nary(NodeKind::And, fs); }
+Formula FormulaBuilder::mk_or(std::span<const Formula> fs) { return mk_nary(NodeKind::Or, fs); }
+
+Formula FormulaBuilder::mk_iff(Formula a, Formula b) {
+  if (a == b) return mk_true();
+  return mk_and({mk_implies(a, b), mk_implies(b, a)});
+}
+
+Formula FormulaBuilder::mk_cardinality(NodeKind kind, std::span<const Formula> fs,
+                                       std::uint32_t bound) {
+  // Constant operands adjust the bound; remaining operands stay symbolic.
+  std::vector<std::int32_t> ops;
+  ops.reserve(fs.size());
+  std::uint32_t fixed_true = 0;
+  for (Formula f : fs) {
+    if (f.id == kTrueId) {
+      ++fixed_true;
+    } else if (f.id != kFalseId) {
+      ops.push_back(f.id);
+    }
+  }
+  const std::uint32_t n = static_cast<std::uint32_t>(ops.size());
+
+  if (kind == NodeKind::AtMost) {
+    if (fixed_true > bound) return mk_false();
+    bound -= fixed_true;
+    if (bound >= n) return mk_true();
+    if (bound == 0) {
+      // all operands must be false
+      std::vector<Formula> negs;
+      negs.reserve(n);
+      for (std::int32_t op : ops) negs.push_back(mk_not(Formula{op}));
+      return mk_and(negs);
+    }
+  } else {  // AtLeast
+    bound = (bound > fixed_true) ? bound - fixed_true : 0;
+    if (bound == 0) return mk_true();
+    if (bound > n) return mk_false();
+    if (bound == n) {
+      std::vector<Formula> all;
+      all.reserve(n);
+      for (std::int32_t op : ops) all.push_back(Formula{op});
+      return mk_and(all);
+    }
+    if (bound == 1) {
+      std::vector<Formula> any;
+      any.reserve(n);
+      for (std::int32_t op : ops) any.push_back(Formula{op});
+      return mk_or(any);
+    }
+  }
+
+  std::sort(ops.begin(), ops.end());  // canonical multiset order (keep duplicates)
+  return intern(NodeKey{kind, bound, 0, std::move(ops)});
+}
+
+Formula FormulaBuilder::mk_at_most(std::span<const Formula> fs, std::uint32_t bound) {
+  return mk_cardinality(NodeKind::AtMost, fs, bound);
+}
+
+Formula FormulaBuilder::mk_at_least(std::span<const Formula> fs, std::uint32_t bound) {
+  return mk_cardinality(NodeKind::AtLeast, fs, bound);
+}
+
+Formula FormulaBuilder::mk_exactly(std::span<const Formula> fs, std::uint32_t bound) {
+  return mk_and({mk_at_most(fs, bound), mk_at_least(fs, bound)});
+}
+
+std::string FormulaBuilder::to_string(Formula f) const {
+  const FormulaNode& n = node(f);
+  const auto join_ops = [&](const char* sep) {
+    std::ostringstream out;
+    for (std::size_t i = 0; i < n.operands.size(); ++i) {
+      if (i > 0) out << sep;
+      out << to_string(n.operands[i]);
+    }
+    return out.str();
+  };
+  switch (n.kind) {
+    case NodeKind::False: return "false";
+    case NodeKind::True: return "true";
+    case NodeKind::Leaf: return var_name(n.var);
+    case NodeKind::Not: return "!" + to_string(n.operands[0]);
+    case NodeKind::And: return "(" + join_ops(" & ") + ")";
+    case NodeKind::Or: return "(" + join_ops(" | ") + ")";
+    case NodeKind::AtMost:
+      return "atmost<=" + std::to_string(n.bound) + "(" + join_ops(", ") + ")";
+    case NodeKind::AtLeast:
+      return "atleast>=" + std::to_string(n.bound) + "(" + join_ops(", ") + ")";
+  }
+  return "?";
+}
+
+}  // namespace scada::smt

@@ -1,0 +1,31 @@
+// CNF encodings of cardinality constraints  sum(lits) <= k  and  >= k.
+//
+// Two encodings are provided (selectable; benchmarked against each other in
+// bench/bench_ablation):
+//   * Sequential counter (Sinz 2005, LT-SEQ): O(n*k) clauses/variables.
+//   * Totalizer (Bailleux & Boufkhad 2003): unary counting tree, O(n^2)
+//     clauses worst case but stronger unit propagation.
+//
+// Every encoding accepts an optional guard literal g; when given, the
+// constraint is only enforced under g (each emitted *forcing* clause carries
+// ~g), which is how the Tseitin transform embeds cardinality atoms of either
+// polarity inside larger formulas.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "scada/smt/sink.hpp"
+#include "scada/smt/types.hpp"
+
+namespace scada::smt {
+
+/// Encodes  guard -> ( sum(lits) <= bound ).
+void encode_at_most(ClauseSink& sink, std::span<const Lit> lits, std::uint32_t bound,
+                    CardinalityEncoding encoding, std::optional<Lit> guard = std::nullopt);
+
+/// Encodes  guard -> ( sum(lits) >= bound ).
+void encode_at_least(ClauseSink& sink, std::span<const Lit> lits, std::uint32_t bound,
+                     CardinalityEncoding encoding, std::optional<Lit> guard = std::nullopt);
+
+}  // namespace scada::smt

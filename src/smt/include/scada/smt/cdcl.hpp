@@ -1,0 +1,170 @@
+// A from-scratch CDCL SAT solver.
+//
+// This is the native solving backend of the analyzer (the ablation partner of
+// the Z3 backend) and a standalone, reusable solver:
+//   * two-watched-literal propagation,
+//   * first-UIP conflict analysis with learned-clause minimization,
+//   * EVSIDS variable activity with an indexed binary heap,
+//   * phase saving,
+//   * Luby-sequence restarts,
+//   * learned-clause database reduction by activity,
+//   * incremental use: clauses may be added between solve() calls, and
+//     solve() accepts assumption literals.
+//
+// The implementation follows the MiniSat lineage (Eén & Sörensson 2003) but
+// shares no code with it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "scada/smt/types.hpp"
+
+namespace scada::smt {
+
+struct CdclConfig {
+  double var_decay = 0.95;          ///< EVSIDS decay factor
+  double clause_decay = 0.999;      ///< learned clause activity decay
+  std::uint32_t restart_base = 100; ///< conflicts per Luby unit
+  std::size_t learned_base = 4000;  ///< initial learned-DB soft limit
+  double learned_growth = 1.1;      ///< limit growth per reduction
+  /// Conflict budget; solve() returns Unknown when exhausted. 0 = unlimited.
+  std::uint64_t max_conflicts = 0;
+};
+
+struct CdclStats {
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t conflicts = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t removed_clauses = 0;
+  std::uint64_t minimized_literals = 0;
+};
+
+class CdclSolver {
+ public:
+  explicit CdclSolver(CdclConfig config = {});
+
+  /// Allocates the next variable.
+  Var new_var();
+
+  /// Ensures all variables up to and including `v` exist.
+  void ensure_var(Var v);
+
+  [[nodiscard]] Var num_vars() const noexcept { return static_cast<Var>(assign_.size()) - 1; }
+
+  /// Adds a clause (empty clause or conflicting unit makes the instance
+  /// permanently unsat). Returns false iff the instance is now known unsat.
+  bool add_clause(std::span<const Lit> lits);
+  bool add_clause(std::initializer_list<Lit> lits) {
+    return add_clause(std::span(lits.begin(), lits.size()));
+  }
+
+  /// Solves under optional assumptions. May be called repeatedly; clauses
+  /// added in between are respected.
+  SolveResult solve(std::span<const Lit> assumptions = {});
+
+  /// Model access; only meaningful after solve() returned Sat.
+  [[nodiscard]] bool model_value(Var v) const;
+
+  [[nodiscard]] const CdclStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t num_clauses() const noexcept { return num_problem_clauses_; }
+
+ private:
+  using ClauseRef = std::uint32_t;
+  static constexpr ClauseRef kNoReason = std::numeric_limits<ClauseRef>::max();
+
+  enum class LBool : std::int8_t { False = 0, True = 1, Undef = 2 };
+
+  struct InternalClause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+    bool removed = false;
+  };
+
+  struct Watcher {
+    ClauseRef cref;
+    Lit blocker;  ///< a literal whose truth lets us skip visiting the clause
+  };
+
+  // --- assignment & trail ---
+  [[nodiscard]] LBool value(Lit l) const noexcept {
+    const LBool v = assign_[static_cast<std::size_t>(l.var())];
+    if (v == LBool::Undef) return LBool::Undef;
+    return (v == LBool::True) != l.negated() ? LBool::True : LBool::False;
+  }
+  void enqueue(Lit l, ClauseRef reason);
+  [[nodiscard]] ClauseRef propagate();
+  void cancel_until(std::uint32_t level);
+  [[nodiscard]] std::uint32_t decision_level() const noexcept {
+    return static_cast<std::uint32_t>(trail_lim_.size());
+  }
+
+  // --- conflict analysis ---
+  void analyze(ClauseRef conflict, std::vector<Lit>& learned, std::uint32_t& backtrack_level);
+  [[nodiscard]] bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+
+  // --- heuristics ---
+  void bump_var(Var v);
+  void decay_var_activity();
+  void bump_clause(InternalClause& c);
+  void decay_clause_activity();
+  [[nodiscard]] Lit pick_branch_literal();
+  void reduce_learned_db();
+  [[nodiscard]] static std::uint32_t luby(std::uint32_t i) noexcept;
+
+  // --- indexed max-heap over variable activity ---
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  [[nodiscard]] bool heap_contains(Var v) const noexcept {
+    return heap_pos_[static_cast<std::size_t>(v)] >= 0;
+  }
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+  [[nodiscard]] bool heap_less(Var a, Var b) const noexcept {
+    return activity_[static_cast<std::size_t>(a)] < activity_[static_cast<std::size_t>(b)];
+  }
+
+  void attach_clause(ClauseRef cref);
+  [[nodiscard]] std::vector<Watcher>& watches(Lit l) {
+    return watches_[static_cast<std::size_t>(l.code)];
+  }
+
+  CdclConfig config_;
+  CdclStats stats_;
+
+  std::vector<InternalClause> clauses_;
+  std::vector<ClauseRef> learned_refs_;
+  std::size_t num_problem_clauses_ = 0;
+
+  std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code
+  std::vector<LBool> assign_;                  // indexed by Var
+  std::vector<std::uint32_t> level_;           // indexed by Var
+  std::vector<ClauseRef> reason_;              // indexed by Var
+  std::vector<bool> saved_phase_;              // indexed by Var
+  std::vector<double> activity_;               // indexed by Var
+  std::vector<Lit> trail_;
+  std::vector<std::uint32_t> trail_lim_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<Var> heap_;
+  std::vector<std::int32_t> heap_pos_;  // Var -> index in heap_, -1 if absent
+
+  std::vector<bool> model_;  // indexed by Var; snapshot of last Sat assignment
+
+  // scratch buffers for analyze()
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  double learned_limit_ = 0.0;
+  bool unsat_ = false;
+};
+
+}  // namespace scada::smt

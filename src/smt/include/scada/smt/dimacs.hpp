@@ -1,0 +1,27 @@
+// DIMACS CNF reading/writing: interoperability with external SAT tooling and
+// golden-file testing of the CNF pipeline.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scada/smt/types.hpp"
+
+namespace scada::smt {
+
+struct DimacsInstance {
+  Var num_vars = 0;
+  std::vector<Clause> clauses;
+};
+
+/// Parses DIMACS CNF ("c" comments, "p cnf V C" header, 0-terminated clauses).
+/// Throws scada::ParseError on malformed input.
+[[nodiscard]] DimacsInstance read_dimacs(std::istream& in);
+[[nodiscard]] DimacsInstance read_dimacs_string(const std::string& text);
+
+/// Serializes an instance in DIMACS format.
+void write_dimacs(std::ostream& out, const DimacsInstance& instance);
+[[nodiscard]] std::string write_dimacs_string(const DimacsInstance& instance);
+
+}  // namespace scada::smt

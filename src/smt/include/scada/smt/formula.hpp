@@ -1,0 +1,124 @@
+// Hash-consed Boolean formula DAG with cardinality atoms.
+//
+// The SCADA encoder (src/core) expresses the paper's constraints over this
+// AST; each solver backend lowers it differently:
+//   * Z3     — direct translation to z3::expr (atmost/atleast become native
+//              pseudo-Boolean constraints),
+//   * CDCL   — Tseitin transformation + CNF cardinality encodings.
+//
+// Formulas are immutable value handles owned by a FormulaBuilder. Builders
+// canonicalize on construction (constant folding, flattening, deduplication,
+// complement elimination), so structurally equal formulas share one node.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "scada/smt/types.hpp"
+
+namespace scada::smt {
+
+/// Opaque handle to a node inside a FormulaBuilder.
+struct Formula {
+  std::int32_t id = -1;
+  [[nodiscard]] constexpr bool valid() const noexcept { return id >= 0; }
+  constexpr bool operator==(const Formula&) const = default;
+};
+
+enum class NodeKind : std::uint8_t {
+  False,
+  True,
+  Leaf,     ///< variable leaf; payload = Var index
+  Not,      ///< 1 operand
+  And,      ///< n operands (n >= 2 after simplification)
+  Or,       ///< n operands (n >= 2 after simplification)
+  AtMost,   ///< sum(operands as 0/1) <= bound
+  AtLeast,  ///< sum(operands as 0/1) >= bound
+};
+
+/// One node of the formula DAG (POD view exposed to backends).
+struct FormulaNode {
+  NodeKind kind = NodeKind::False;
+  std::uint32_t bound = 0;            ///< cardinality bound (AtMost/AtLeast)
+  Var var = 0;                        ///< leaf variable (Var)
+  std::vector<Formula> operands;      ///< children
+};
+
+class FormulaBuilder {
+ public:
+  FormulaBuilder();
+  FormulaBuilder(const FormulaBuilder&) = delete;
+  FormulaBuilder& operator=(const FormulaBuilder&) = delete;
+  FormulaBuilder(FormulaBuilder&&) = default;
+  FormulaBuilder& operator=(FormulaBuilder&&) = default;
+
+  [[nodiscard]] Formula mk_false() const noexcept { return Formula{0}; }
+  [[nodiscard]] Formula mk_true() const noexcept { return Formula{1}; }
+  [[nodiscard]] Formula mk_bool(bool b) const noexcept { return b ? mk_true() : mk_false(); }
+
+  /// Creates a fresh named variable and returns its leaf formula.
+  Formula mk_var(std::string name);
+
+  /// Leaf formula of an existing variable (as returned by var_of).
+  [[nodiscard]] Formula var_formula(Var v) const;
+
+  Formula mk_not(Formula f);
+  Formula mk_and(std::span<const Formula> fs);
+  Formula mk_or(std::span<const Formula> fs);
+  Formula mk_and(std::initializer_list<Formula> fs) { return mk_and(std::span(fs.begin(), fs.size())); }
+  Formula mk_or(std::initializer_list<Formula> fs) { return mk_or(std::span(fs.begin(), fs.size())); }
+  Formula mk_implies(Formula a, Formula b) { return mk_or({mk_not(a), b}); }
+  Formula mk_iff(Formula a, Formula b);
+
+  /// sum(fs) <= bound / >= bound / == bound over arbitrary sub-formulas.
+  Formula mk_at_most(std::span<const Formula> fs, std::uint32_t bound);
+  Formula mk_at_least(std::span<const Formula> fs, std::uint32_t bound);
+  Formula mk_exactly(std::span<const Formula> fs, std::uint32_t bound);
+  Formula mk_at_most(std::initializer_list<Formula> fs, std::uint32_t bound) {
+    return mk_at_most(std::span(fs.begin(), fs.size()), bound);
+  }
+  Formula mk_at_least(std::initializer_list<Formula> fs, std::uint32_t bound) {
+    return mk_at_least(std::span(fs.begin(), fs.size()), bound);
+  }
+  Formula mk_exactly(std::initializer_list<Formula> fs, std::uint32_t bound) {
+    return mk_exactly(std::span(fs.begin(), fs.size()), bound);
+  }
+
+  // --- introspection (used by backends and tests) ---
+  [[nodiscard]] const FormulaNode& node(Formula f) const;
+  [[nodiscard]] std::size_t num_nodes() const noexcept { return nodes_.size(); }
+  [[nodiscard]] Var num_vars() const noexcept { return next_var_ - 1; }
+  [[nodiscard]] const std::string& var_name(Var v) const;
+  /// The leaf variable of a Var formula; throws unless node(f) is a Var.
+  [[nodiscard]] Var var_of(Formula f) const;
+
+  /// Human-readable rendering (debugging / golden tests).
+  [[nodiscard]] std::string to_string(Formula f) const;
+
+ private:
+  struct NodeKey {
+    NodeKind kind;
+    std::uint32_t bound;
+    Var var;
+    std::vector<std::int32_t> operands;
+    bool operator==(const NodeKey&) const = default;
+  };
+  struct NodeKeyHash {
+    std::size_t operator()(const NodeKey& k) const noexcept;
+  };
+
+  Formula intern(NodeKey key);
+  Formula mk_nary(NodeKind kind, std::span<const Formula> fs);
+  Formula mk_cardinality(NodeKind kind, std::span<const Formula> fs, std::uint32_t bound);
+
+  std::vector<FormulaNode> nodes_;
+  std::unordered_map<NodeKey, std::int32_t, NodeKeyHash> interned_;
+  std::vector<std::string> var_names_;          // indexed by Var-1
+  std::vector<std::int32_t> var_leaf_;          // Var -> node id
+  Var next_var_ = 1;
+};
+
+}  // namespace scada::smt

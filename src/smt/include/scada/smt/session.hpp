@@ -1,0 +1,93 @@
+// Session: the backend-independent incremental solving facade.
+//
+// A Session owns one solver instance (Z3 or the native CDCL engine), accepts
+// formulas built in a FormulaBuilder, solves, and answers model queries.
+// Formulas may be asserted between solve() calls (the SCADA analyzer uses
+// this to enumerate threat vectors by adding blocking constraints).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "scada/smt/formula.hpp"
+#include "scada/smt/types.hpp"
+
+namespace scada::smt {
+
+struct SessionOptions {
+  Backend backend = Backend::Z3;
+  CardinalityEncoding card_encoding = CardinalityEncoding::SequentialCounter;
+  /// CDCL conflict budget per solve() (0 = unlimited).
+  std::uint64_t max_conflicts = 0;
+  /// Z3 soft timeout per solve() in milliseconds (0 = unlimited).
+  unsigned z3_timeout_ms = 0;
+  /// Z3 only: lower cardinality atoms to integer arithmetic
+  /// (sum of ite(b,1,0) <= k) instead of native pseudo-Boolean atmost/atleast.
+  /// This mirrors the paper's "Boolean and integer terms" encoding; the
+  /// pseudo-Boolean default is usually faster. Benchmarked in bench_ablation.
+  bool z3_integer_cardinality = false;
+};
+
+struct SessionStats {
+  double last_solve_seconds = 0.0;
+  std::uint64_t solve_calls = 0;
+};
+
+namespace detail {
+class SessionImpl {
+ public:
+  virtual ~SessionImpl() = default;
+  virtual void assert_formula(Formula f) = 0;
+  virtual SolveResult solve(std::span<const Formula> assumptions) = 0;
+  virtual bool var_value(Var builder_var) const = 0;
+  virtual std::string describe() const = 0;
+};
+
+/// Factory implemented in z3_backend.cpp (keeps z3++.h out of public headers).
+std::unique_ptr<SessionImpl> make_z3_impl(const FormulaBuilder& builder,
+                                          const SessionOptions& options);
+/// Factory implemented in session.cpp.
+std::unique_ptr<SessionImpl> make_cdcl_impl(const FormulaBuilder& builder,
+                                            const SessionOptions& options);
+}  // namespace detail
+
+class Session {
+ public:
+  /// The builder must outlive the session; formulas asserted here must come
+  /// from that builder.
+  explicit Session(const FormulaBuilder& builder, SessionOptions options = {});
+  ~Session();
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+
+  /// Adds `f` to the constraint set.
+  void assert_formula(Formula f);
+
+  /// Decides the current constraint set.
+  SolveResult solve();
+
+  /// Decides the constraint set under temporary assumptions (arbitrary
+  /// sub-formulas; they hold for this call only). Repeated calls with
+  /// different assumptions reuse all solver state — the backbone of the
+  /// incremental max-resiliency search.
+  SolveResult solve(std::span<const Formula> assumptions);
+  SolveResult solve(std::initializer_list<Formula> assumptions) {
+    return solve(std::span(assumptions.begin(), assumptions.size()));
+  }
+
+  /// Evaluates any formula of the builder under the last Sat model.
+  /// Variables never mentioned in an assertion evaluate to false.
+  [[nodiscard]] bool value(Formula f) const;
+
+  [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::string describe() const;
+
+ private:
+  const FormulaBuilder* builder_;
+  std::unique_ptr<detail::SessionImpl> impl_;
+  SessionStats stats_;
+  SolveResult last_result_ = SolveResult::Unknown;
+};
+
+}  // namespace scada::smt

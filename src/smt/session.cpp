@@ -1,0 +1,116 @@
+#include "scada/smt/session.hpp"
+
+#include "scada/smt/cdcl.hpp"
+#include "scada/smt/cnf.hpp"
+#include "scada/util/error.hpp"
+#include "scada/util/timer.hpp"
+
+namespace scada::smt {
+namespace detail {
+namespace {
+
+/// Feeds the CNF pipeline straight into the native CDCL solver.
+class CdclSinkAdapter final : public ClauseSink {
+ public:
+  explicit CdclSinkAdapter(CdclSolver& solver) : solver_(solver) {}
+  void add_clause(std::span<const Lit> lits) override { solver_.add_clause(lits); }
+  Var fresh_var(const std::string&) override { return solver_.new_var(); }
+
+ private:
+  CdclSolver& solver_;
+};
+
+class CdclSessionImpl final : public SessionImpl {
+ public:
+  CdclSessionImpl(const FormulaBuilder& builder, const SessionOptions& options)
+      : builder_(builder),
+        solver_(CdclConfig{.max_conflicts = options.max_conflicts}),
+        sink_(solver_),
+        transformer_(builder, sink_, options.card_encoding) {}
+
+  void assert_formula(Formula f) override { transformer_.assert_root(f); }
+
+  SolveResult solve(std::span<const Formula> assumptions) override {
+    std::vector<Lit> lits;
+    lits.reserve(assumptions.size());
+    for (const Formula f : assumptions) lits.push_back(transformer_.define(f));
+    const SolveResult r = solver_.solve(lits);
+    if (r == SolveResult::Sat) snapshot_model();
+    return r;
+  }
+
+  bool var_value(Var builder_var) const override {
+    const auto v = static_cast<std::size_t>(builder_var);
+    return v < model_.size() && model_[v];
+  }
+
+  std::string describe() const override {
+    return "cdcl(vars=" + std::to_string(solver_.num_vars()) +
+           ", clauses=" + std::to_string(solver_.num_clauses()) + ")";
+  }
+
+ private:
+  void snapshot_model() {
+    model_.assign(static_cast<std::size_t>(builder_.num_vars()) + 1, false);
+    for (Var v = 1; v <= builder_.num_vars(); ++v) {
+      if (const auto sv = transformer_.try_solver_var(v)) {
+        model_[static_cast<std::size_t>(v)] = solver_.model_value(*sv);
+      }
+    }
+  }
+
+  const FormulaBuilder& builder_;
+  CdclSolver solver_;
+  CdclSinkAdapter sink_;
+  CnfTransformer transformer_;
+  std::vector<bool> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionImpl> make_cdcl_impl(const FormulaBuilder& builder,
+                                            const SessionOptions& options) {
+  return std::make_unique<CdclSessionImpl>(builder, options);
+}
+
+}  // namespace detail
+
+Session::Session(const FormulaBuilder& builder, SessionOptions options) : builder_(&builder) {
+  switch (options.backend) {
+    case Backend::Z3:
+      impl_ = detail::make_z3_impl(builder, options);
+      break;
+    case Backend::Cdcl:
+      impl_ = detail::make_cdcl_impl(builder, options);
+      break;
+  }
+  if (!impl_) throw SolverError("unknown solver backend");
+}
+
+Session::~Session() = default;
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+
+void Session::assert_formula(Formula f) { impl_->assert_formula(f); }
+
+SolveResult Session::solve() { return solve(std::span<const Formula>{}); }
+
+SolveResult Session::solve(std::span<const Formula> assumptions) {
+  util::WallTimer timer;
+  last_result_ = impl_->solve(assumptions);
+  stats_.last_solve_seconds = timer.seconds();
+  ++stats_.solve_calls;
+  return last_result_;
+}
+
+bool Session::value(Formula f) const {
+  if (last_result_ != SolveResult::Sat) {
+    throw SolverError("model query without a sat result");
+  }
+  return evaluate_formula(*builder_, f,
+                          [this](Var v) { return impl_->var_value(v); });
+}
+
+std::string Session::describe() const { return impl_->describe(); }
+
+}  // namespace scada::smt

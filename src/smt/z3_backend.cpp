@@ -1,0 +1,143 @@
+// Z3 solving backend, using the native C++ API (z3++.h).
+//
+// The formula DAG translates one-to-one: And/Or/Not to Boolean connectives,
+// AtMost/AtLeast to Z3's native pseudo-Boolean constraints — the same shape
+// of encoding the paper runs through Z3 [5].
+#include <z3++.h>
+
+#include <unordered_map>
+#include <vector>
+
+#include "scada/smt/session.hpp"
+#include "scada/util/error.hpp"
+
+namespace scada::smt {
+namespace detail {
+namespace {
+
+class Z3SessionImpl final : public SessionImpl {
+ public:
+  Z3SessionImpl(const FormulaBuilder& builder, const SessionOptions& options)
+      : builder_(builder),
+        solver_(ctx_),
+        integer_cardinality_(options.z3_integer_cardinality) {
+    if (options.z3_timeout_ms > 0) {
+      z3::params p(ctx_);
+      p.set("timeout", options.z3_timeout_ms);
+      solver_.set(p);
+    }
+  }
+
+  void assert_formula(Formula f) override { solver_.add(translate(f)); }
+
+  SolveResult solve(std::span<const Formula> assumptions) override {
+    z3::expr_vector assumed(ctx_);
+    for (const Formula f : assumptions) assumed.push_back(translate(f));
+    switch (assumptions.empty() ? solver_.check() : solver_.check(assumed)) {
+      case z3::sat: {
+        snapshot_model();
+        return SolveResult::Sat;
+      }
+      case z3::unsat:
+        return SolveResult::Unsat;
+      case z3::unknown:
+        return SolveResult::Unknown;
+    }
+    return SolveResult::Unknown;
+  }
+
+  bool var_value(Var builder_var) const override {
+    const auto v = static_cast<std::size_t>(builder_var);
+    return v < model_.size() && model_[v];
+  }
+
+  std::string describe() const override {
+    return std::string("z3(") + Z3_get_full_version() + ")";
+  }
+
+ private:
+  z3::expr var_expr(Var v) {
+    const auto it = var_exprs_.find(v);
+    if (it != var_exprs_.end()) return it->second;
+    z3::expr e = ctx_.bool_const(builder_.var_name(v).c_str());
+    var_exprs_.emplace(v, e);
+    return e;
+  }
+
+  z3::expr translate(Formula f) {
+    const auto it = node_exprs_.find(f.id);
+    if (it != node_exprs_.end()) return it->second;
+
+    const FormulaNode& n = builder_.node(f);
+    z3::expr e = ctx_.bool_val(false);
+    switch (n.kind) {
+      case NodeKind::False:
+        e = ctx_.bool_val(false);
+        break;
+      case NodeKind::True:
+        e = ctx_.bool_val(true);
+        break;
+      case NodeKind::Leaf:
+        e = var_expr(n.var);
+        break;
+      case NodeKind::Not:
+        e = !translate(n.operands[0]);
+        break;
+      case NodeKind::And:
+      case NodeKind::Or: {
+        z3::expr_vector ops(ctx_);
+        for (const Formula op : n.operands) ops.push_back(translate(op));
+        e = (n.kind == NodeKind::And) ? z3::mk_and(ops) : z3::mk_or(ops);
+        break;
+      }
+      case NodeKind::AtMost:
+      case NodeKind::AtLeast: {
+        if (integer_cardinality_) {
+          // The paper's "Boolean and integer terms" style:
+          //   sum(ite(op, 1, 0)) <=/>= bound.
+          z3::expr sum = ctx_.int_val(0);
+          for (const Formula op : n.operands) {
+            sum = sum + z3::ite(translate(op), ctx_.int_val(1), ctx_.int_val(0));
+          }
+          const z3::expr bound = ctx_.int_val(n.bound);
+          e = (n.kind == NodeKind::AtMost) ? (sum <= bound) : (sum >= bound);
+        } else {
+          z3::expr_vector ops(ctx_);
+          for (const Formula op : n.operands) ops.push_back(translate(op));
+          e = (n.kind == NodeKind::AtMost) ? z3::atmost(ops, n.bound)
+                                           : z3::atleast(ops, n.bound);
+        }
+        break;
+      }
+    }
+    node_exprs_.emplace(f.id, e);
+    return e;
+  }
+
+  void snapshot_model() {
+    const z3::model m = solver_.get_model();
+    model_.assign(static_cast<std::size_t>(builder_.num_vars()) + 1, false);
+    for (const auto& [v, e] : var_exprs_) {
+      const z3::expr value = m.eval(e, /*model_completion=*/true);
+      model_[static_cast<std::size_t>(v)] = value.is_true();
+    }
+  }
+
+  const FormulaBuilder& builder_;
+  z3::context ctx_;
+  z3::solver solver_;
+  bool integer_cardinality_ = false;
+  std::unordered_map<Var, z3::expr> var_exprs_;
+  std::unordered_map<std::int32_t, z3::expr> node_exprs_;
+  std::vector<bool> model_;
+};
+
+}  // namespace
+
+std::unique_ptr<SessionImpl> make_z3_impl(const FormulaBuilder& builder,
+                                          const SessionOptions& options) {
+  return std::make_unique<Z3SessionImpl>(builder, options);
+}
+
+}  // namespace detail
+}  // namespace scada::smt

@@ -1,0 +1,34 @@
+// Error types shared by all scada-analyzer modules.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace scada {
+
+/// Base class for all errors raised by the library.
+class ScadaError : public std::runtime_error {
+ public:
+  explicit ScadaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input configuration (topology, Jacobian, security profile,
+/// resiliency spec, ...) is structurally invalid.
+class ConfigError : public ScadaError {
+ public:
+  explicit ConfigError(const std::string& what) : ScadaError(what) {}
+};
+
+/// Raised when a text input (Table-II format file, DIMACS, ...) cannot be parsed.
+class ParseError : public ScadaError {
+ public:
+  explicit ParseError(const std::string& what) : ScadaError(what) {}
+};
+
+/// Raised when a solver backend fails (resource limit, internal error).
+class SolverError : public ScadaError {
+ public:
+  explicit SolverError(const std::string& what) : ScadaError(what) {}
+};
+
+}  // namespace scada

@@ -1,0 +1,43 @@
+// Minimal leveled logging to stderr.
+//
+// The analyzer is a library first; logging defaults to Warn so that embedding
+// applications stay quiet, while benchmarks/examples can raise verbosity.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace scada::util {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global log threshold (process-wide; not synchronized — set it at startup).
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Writes one formatted line to stderr if `level` passes the threshold.
+void log_line(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) noexcept : level_(level) {}
+  ~LogStream() { log_line(level_, stream_.str()); }
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace scada::util
+
+#define SCADA_LOG(level) ::scada::util::detail::LogStream(::scada::util::LogLevel::level)

@@ -1,0 +1,33 @@
+// Small string helpers used by parsers and report writers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace scada::util {
+
+/// Strip ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view s) noexcept;
+
+/// Split on any run of the given delimiter characters; empty tokens dropped.
+[[nodiscard]] std::vector<std::string> split(std::string_view s,
+                                             std::string_view delims = " \t");
+
+/// Join with a separator.
+[[nodiscard]] std::string join(const std::vector<std::string>& parts,
+                               std::string_view sep);
+
+/// ASCII lower-case copy.
+[[nodiscard]] std::string to_lower(std::string_view s);
+
+/// Parse a whole string_view as a long; throws scada::ParseError on failure.
+[[nodiscard]] long parse_long(std::string_view s);
+
+/// Parse a whole string_view as a double; throws scada::ParseError on failure.
+[[nodiscard]] double parse_double(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+[[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+}  // namespace scada::util

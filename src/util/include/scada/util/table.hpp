@@ -1,0 +1,45 @@
+// Plain-text and CSV table rendering for benchmark/report output.
+//
+// The benchmark harness prints each reproduced paper table/figure as an
+// aligned text table (for humans) and can also emit CSV (for replotting).
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace scada::util {
+
+class TextTable {
+ public:
+  /// Column headers define the table width.
+  explicit TextTable(std::vector<std::string> headers);
+  TextTable(std::initializer_list<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats each cell with to_string-like rules.
+  void add_row(std::initializer_list<std::string> cells);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with aligned columns, e.g.
+  ///   bus size | devices | time (s)
+  ///   ---------+---------+---------
+  ///         14 |      29 |    0.013
+  [[nodiscard]] std::string to_text() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing comma/quote are quoted).
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting ("0.013", "12.5").
+[[nodiscard]] std::string fmt_double(double v, int precision = 3);
+
+}  // namespace scada::util

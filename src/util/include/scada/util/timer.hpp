@@ -1,0 +1,72 @@
+// Wall-clock timing and simple run statistics for the evaluation harness.
+#pragma once
+
+#include <chrono>
+#include <cmath>
+#include <vector>
+
+namespace scada::util {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last reset, in seconds.
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates repeated measurements of one experiment configuration,
+/// mirroring the paper's "each specific experiment is run at least five
+/// times and we take the average" methodology.
+class RunStats {
+ public:
+  void add(double x) { samples_.push_back(x); }
+
+  [[nodiscard]] std::size_t count() const noexcept { return samples_.size(); }
+
+  [[nodiscard]] double mean() const noexcept {
+    if (samples_.empty()) return 0.0;
+    double s = 0.0;
+    for (double x : samples_) s += x;
+    return s / static_cast<double>(samples_.size());
+  }
+
+  [[nodiscard]] double min() const noexcept {
+    double m = samples_.empty() ? 0.0 : samples_.front();
+    for (double x : samples_)
+      if (x < m) m = x;
+    return m;
+  }
+
+  [[nodiscard]] double max() const noexcept {
+    double m = samples_.empty() ? 0.0 : samples_.front();
+    for (double x : samples_)
+      if (x > m) m = x;
+    return m;
+  }
+
+  [[nodiscard]] double stddev() const noexcept {
+    if (samples_.size() < 2) return 0.0;
+    const double mu = mean();
+    double ss = 0.0;
+    for (double x : samples_) ss += (x - mu) * (x - mu);
+    return std::sqrt(ss / static_cast<double>(samples_.size() - 1));
+  }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace scada::util

@@ -1,0 +1,33 @@
+#include "scada/util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace scada::util {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+const char* level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void log_line(LogLevel level, const std::string& msg) {
+  if (level < log_level()) return;
+  std::fprintf(stderr, "[scada:%s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace scada::util

@@ -1,0 +1,73 @@
+#include "scada/util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdlib>
+
+#include "scada/util/error.hpp"
+
+namespace scada::util {
+
+std::string_view trim(std::string_view s) noexcept {
+  const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+  while (!s.empty() && is_space(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+  return s;
+}
+
+std::vector<std::string> split(std::string_view s, std::string_view delims) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && delims.find(s[i]) != std::string_view::npos) ++i;
+    std::size_t j = i;
+    while (j < s.size() && delims.find(s[j]) == std::string_view::npos) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out{s};
+  std::transform(out.begin(), out.end(), out.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return out;
+}
+
+long parse_long(std::string_view s) {
+  s = trim(s);
+  long value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError("not an integer: '" + std::string{s} + "'");
+  }
+  return value;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  // std::from_chars<double> is available in libstdc++ 11+; use it directly.
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw ParseError("not a number: '" + std::string{s} + "'");
+  }
+  return value;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace scada::util

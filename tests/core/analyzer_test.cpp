@@ -1,0 +1,188 @@
+// Analyzer behaviour: SMT verdicts must match the brute-force baseline on
+// small systems (the key soundness/completeness property test), threat
+// vectors must be minimal and real, and enumeration must be exhaustive.
+#include "scada/core/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "scada/core/brute_force.hpp"
+#include "scada/core/case_study.hpp"
+#include "scada/synth/generator.hpp"
+
+namespace scada::core {
+namespace {
+
+class AnalyzerVsBruteForce : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnalyzerVsBruteForce, VerdictsMatchOnSyntheticSystems) {
+  synth::SynthConfig config;
+  config.buses = 8 + GetParam();  // small custom grids
+  config.measurement_fraction = 0.6 + 0.05 * (GetParam() % 4);
+  config.hierarchy_level = 1 + GetParam() % 2;
+  config.seed = static_cast<std::uint64_t>(GetParam()) * 13 + 1;
+  const ScadaScenario s = synth::generate_scenario(config);
+  BruteForceVerifier brute(s);
+
+  for (const auto backend : {smt::Backend::Z3, smt::Backend::Cdcl}) {
+    AnalyzerOptions options;
+    options.solver.backend = backend;
+    ScadaAnalyzer analyzer(s, options);
+    for (const Property property :
+         {Property::Observability, Property::SecuredObservability}) {
+      for (int k = 0; k <= 2; ++k) {
+        const auto spec = ResiliencySpec::total(k);
+        const auto smt_result = analyzer.verify(property, spec);
+        const auto brute_result = brute.verify(property, spec);
+        EXPECT_EQ(smt_result.result, brute_result.result)
+            << smt::to_string(backend) << " " << to_string(property) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST_P(AnalyzerVsBruteForce, ThreatSpacesMatchOnCaseStudy) {
+  const auto topology = GetParam() % 2 == 0 ? CaseStudyTopology::Fig3 : CaseStudyTopology::Fig4;
+  const ScadaScenario s = make_case_study(topology);
+  BruteForceVerifier brute(s);
+  AnalyzerOptions options;
+  options.solver.backend = (GetParam() / 2) % 2 == 0 ? smt::Backend::Z3 : smt::Backend::Cdcl;
+  ScadaAnalyzer analyzer(s, options);
+
+  const Property property =
+      GetParam() % 3 == 0 ? Property::SecuredObservability : Property::Observability;
+  const auto spec = ResiliencySpec::per_type(1 + GetParam() % 2, 1);
+
+  auto enumerated = analyzer.enumerate_threats(property, spec);
+  auto expected = brute.enumerate_threats(property, spec);
+  const auto canon = [](std::vector<ThreatVector>& v) {
+    for (auto& t : v) {
+      std::sort(t.failed_ieds.begin(), t.failed_ieds.end());
+      std::sort(t.failed_rtus.begin(), t.failed_rtus.end());
+    }
+    std::sort(v.begin(), v.end(), [](const ThreatVector& a, const ThreatVector& b) {
+      return std::tie(a.failed_ieds, a.failed_rtus) < std::tie(b.failed_ieds, b.failed_rtus);
+    });
+  };
+  canon(enumerated);
+  canon(expected);
+  EXPECT_EQ(enumerated, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AnalyzerVsBruteForce, ::testing::Range(0, 8));
+
+TEST(AnalyzerTest, ThreatVectorsAreMinimalAndReal) {
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  ScenarioOracle oracle(s);
+  const auto threats =
+      analyzer.enumerate_threats(Property::Observability, ResiliencySpec::per_type(2, 1));
+  ASSERT_FALSE(threats.empty());
+  for (const ThreatVector& v : threats) {
+    // Real: the contingency breaks the property.
+    EXPECT_FALSE(oracle.holds(Property::Observability, v.to_contingency()));
+    // Minimal: restoring any single failed device repairs it... or at least
+    // the vector is irreducible.
+    for (const int id : v.failed_ieds) {
+      Contingency c = v.to_contingency();
+      c.failed_devices.erase(id);
+      EXPECT_TRUE(oracle.holds(Property::Observability, c))
+          << v.to_string() << " minus IED " << id;
+    }
+    for (const int id : v.failed_rtus) {
+      Contingency c = v.to_contingency();
+      c.failed_devices.erase(id);
+      EXPECT_TRUE(oracle.holds(Property::Observability, c))
+          << v.to_string() << " minus RTU " << id;
+    }
+  }
+}
+
+TEST(AnalyzerTest, EnumerationIsDuplicateFree) {
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  const auto threats =
+      analyzer.enumerate_threats(Property::SecuredObservability, ResiliencySpec::per_type(1, 1));
+  std::set<std::pair<std::vector<int>, std::vector<int>>> seen;
+  for (const ThreatVector& v : threats) {
+    EXPECT_TRUE(seen.insert({v.failed_ieds, v.failed_rtus}).second)
+        << "duplicate " << v.to_string();
+  }
+}
+
+TEST(AnalyzerTest, NonMinimalEnumerationCountsAssignments) {
+  // Exact-assignment enumeration yields at least as many vectors as the
+  // minimal antichain.
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  const auto spec = ResiliencySpec::per_type(1, 1);
+  const auto minimal =
+      analyzer.enumerate_threats(Property::SecuredObservability, spec, 1024, true);
+  const auto all =
+      analyzer.enumerate_threats(Property::SecuredObservability, spec, 1024, false);
+  EXPECT_GE(all.size(), minimal.size());
+}
+
+TEST(AnalyzerTest, MaxVectorsCapRespected) {
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  const auto threats = analyzer.enumerate_threats(Property::SecuredObservability,
+                                                  ResiliencySpec::per_type(1, 1), 2);
+  EXPECT_EQ(threats.size(), 2u);
+}
+
+TEST(AnalyzerTest, CombinedBudgetMatchesPerTypeUnion) {
+  // k-total = 2 admits (2,0), (1,1), (0,2): the verdict must be sat iff any
+  // per-type split within the budget is sat.
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  const bool total_sat =
+      !analyzer.verify(Property::Observability, ResiliencySpec::total(2)).resilient();
+  bool any_split_sat = false;
+  for (int k1 = 0; k1 <= 2; ++k1) {
+    const int k2 = 2 - k1;
+    if (!analyzer.verify(Property::Observability, ResiliencySpec::per_type(k1, k2))
+             .resilient()) {
+      any_split_sat = true;
+    }
+  }
+  EXPECT_EQ(total_sat, any_split_sat);
+}
+
+TEST(AnalyzerTest, MaxResiliencyProbesCounted) {
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  const auto r = analyzer.max_resiliency(Property::Observability, FailureClass::IedOnly);
+  EXPECT_EQ(r.max_k, 3);
+  EXPECT_EQ(r.probes, 5);  // k = 0..4, sat at 4
+}
+
+TEST(AnalyzerTest, MaxResiliencyCombined) {
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  // Combined budget is at most the per-type budgets' min dimension; with
+  // (1,1) resilient and (2,1) not, combined max is at least 1 and below 3.
+  const auto r = analyzer.max_resiliency(Property::Observability, FailureClass::Combined);
+  EXPECT_GE(r.max_k, 1);
+  EXPECT_LT(r.max_k, 3);
+}
+
+TEST(AnalyzerTest, VerificationResultRendering) {
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  const auto sat = analyzer.verify(Property::Observability, ResiliencySpec::per_type(2, 1));
+  EXPECT_NE(sat.to_string().find("sat"), std::string::npos);
+  EXPECT_NE(sat.to_string().find("RTUs"), std::string::npos);
+  const auto unsat = analyzer.verify(Property::Observability, ResiliencySpec::per_type(1, 1));
+  EXPECT_EQ(unsat.to_string(), "unsat");
+}
+
+TEST(AnalyzerTest, SpecToString) {
+  EXPECT_EQ(ResiliencySpec::total(3).to_string(), "k=3, r=1");
+  EXPECT_EQ(ResiliencySpec::per_type(1, 2).to_string(), "(k1=1, k2=2), r=1");
+}
+
+}  // namespace
+}  // namespace scada::core

@@ -1,0 +1,83 @@
+#include "scada/core/criticality.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/core/case_study.hpp"
+
+namespace scada::core {
+namespace {
+
+TEST(CriticalityTest, EmptyThreatSpaceYieldsZeroCounts) {
+  const ScadaScenario s = make_case_study();
+  const auto ranking = criticality_ranking(s, {});
+  EXPECT_EQ(ranking.size(), 12u);  // 8 IEDs + 4 RTUs
+  for (const auto& c : ranking) {
+    EXPECT_EQ(c.appearances, 0u);
+    EXPECT_DOUBLE_EQ(c.share, 0.0);
+  }
+}
+
+TEST(CriticalityTest, CountsAndShares) {
+  const ScadaScenario s = make_case_study();
+  const std::vector<ThreatVector> threats = {
+      {{2}, {11}, {}},
+      {{3}, {11}, {}},
+      {{2}, {12}, {}},
+      {{}, {11}, {}},
+  };
+  const auto ranking = criticality_ranking(s, threats);
+  // RTU11 appears 3 times -> most critical.
+  EXPECT_EQ(ranking.front().device_id, 11);
+  EXPECT_EQ(ranking.front().appearances, 3u);
+  EXPECT_DOUBLE_EQ(ranking.front().share, 0.75);
+  EXPECT_EQ(ranking.front().type, scadanet::DeviceType::Rtu);
+  // IED2 appears twice, second place.
+  EXPECT_EQ(ranking[1].device_id, 2);
+  EXPECT_EQ(ranking[1].appearances, 2u);
+}
+
+TEST(CriticalityTest, TiesBrokenByDeviceId) {
+  const ScadaScenario s = make_case_study();
+  const std::vector<ThreatVector> threats = {{{5, 7}, {}, {}}};
+  const auto ranking = criticality_ranking(s, threats);
+  EXPECT_EQ(ranking[0].device_id, 5);
+  EXPECT_EQ(ranking[1].device_id, 7);
+}
+
+TEST(CriticalityTest, CaseStudySecuredThreatSpaceNamesRtu11MostCritical) {
+  // In the paper's scenario 2 threat space, RTU11 carries the most threat
+  // vectors (IED5/IED6 ride it and IED4's path crosses it).
+  const ScadaScenario s = make_case_study();
+  ScadaAnalyzer analyzer(s);
+  const auto threats = analyzer.enumerate_threats(Property::SecuredObservability,
+                                                  ResiliencySpec::per_type(1, 1));
+  const auto ranking = criticality_ranking(s, threats);
+  ASSERT_FALSE(ranking.empty());
+  EXPECT_EQ(ranking.front().device_id, 11);
+  EXPECT_EQ(ranking.front().type, scadanet::DeviceType::Rtu);
+}
+
+
+TEST(CriticalityTest, EssentialDevices) {
+  EXPECT_TRUE(essential_devices({}).empty());
+  // RTU11 is in all three vectors, nothing else is.
+  const std::vector<ThreatVector> threats = {
+      {{2}, {11}, {}}, {{3}, {11}, {}}, {{}, {11}, {}}};
+  EXPECT_EQ(essential_devices(threats), (std::vector<int>{11}));
+  // No universal device once a disjoint vector appears.
+  const std::vector<ThreatVector> mixed = {{{2}, {11}, {}}, {{3}, {12}, {}}};
+  EXPECT_TRUE(essential_devices(mixed).empty());
+}
+
+TEST(CriticalityTest, Fig4SecuredEssentialDeviceIsRtu12) {
+  // The paper's Fig. 4 secured threat space is exactly {RTU12}: protecting
+  // RTU12 removes every threat.
+  const ScadaScenario s = make_case_study(CaseStudyTopology::Fig4);
+  ScadaAnalyzer analyzer(s);
+  const auto threats = analyzer.enumerate_threats(Property::SecuredObservability,
+                                                  ResiliencySpec::per_type(0, 1));
+  EXPECT_EQ(essential_devices(threats), (std::vector<int>{12}));
+}
+
+}  // namespace
+}  // namespace scada::core

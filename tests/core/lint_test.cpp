@@ -1,0 +1,139 @@
+#include "scada/core/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scada/core/case_study.hpp"
+
+namespace scada::core {
+namespace {
+
+using scadanet::CryptoRuleRegistry;
+using scadanet::Device;
+using scadanet::DeviceType;
+using scadanet::Link;
+using scadanet::ScadaTopology;
+using scadanet::SecurityPolicy;
+
+bool has(const std::vector<LintFinding>& findings, LintKind kind) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [kind](const LintFinding& f) { return f.kind == kind; });
+}
+
+std::size_t count(const std::vector<LintFinding>& findings, LintKind kind) {
+  return static_cast<std::size_t>(std::count_if(
+      findings.begin(), findings.end(),
+      [kind](const LintFinding& f) { return f.kind == kind; }));
+}
+
+TEST(LintTest, CaseStudyFindings) {
+  const ScadaScenario s = make_case_study();
+  const auto findings = lint_scenario(s);
+
+  // The two hmac-only hops are integrity gaps.
+  EXPECT_EQ(count(findings, LintKind::IntegrityGap), 2u);
+  // Measurement 4 is unassigned.
+  EXPECT_EQ(count(findings, LintKind::OrphanMeasurement), 1u);
+  // Every RTU silences >= 2 IEDs except RTU10 (only IED4): three SPOFs.
+  EXPECT_EQ(count(findings, LintKind::SinglePointOfFailure), 3u);
+  // No reachability or pairing errors in the paper's configuration.
+  EXPECT_FALSE(has(findings, LintKind::UnreachableIed));
+  EXPECT_FALSE(has(findings, LintKind::ProtocolMismatch));
+  EXPECT_FALSE(has(findings, LintKind::BrokenCryptoPairing));
+  EXPECT_FALSE(has(findings, LintKind::DownLink));
+  EXPECT_FALSE(has(findings, LintKind::IdleIed));
+}
+
+TEST(LintTest, ErrorsSortFirst) {
+  // An isolated IED produces an error that must precede all warnings.
+  std::vector<Device> devices = {
+      {.id = 1, .type = DeviceType::Ied},
+      {.id = 2, .type = DeviceType::Ied},
+      {.id = 3, .type = DeviceType::Rtu},
+      {.id = 4, .type = DeviceType::Mtu},
+  };
+  std::vector<Link> links = {{1, 2, 3}, {2, 3, 4}};  // IED1 has no link at all
+  const ScadaScenario s(ScadaTopology(std::move(devices), std::move(links)),
+                        SecurityPolicy{}, CryptoRuleRegistry::paper_defaults(),
+                        powersys::MeasurementModel(
+                            powersys::JacobianMatrix::from_rows({{1.0, -1.0}, {0.0, 1.0}})),
+                        {{1, {0}}, {2, {1}}});
+  const auto findings = lint_scenario(s);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings.front().kind, LintKind::UnreachableIed);
+  EXPECT_EQ(findings.front().severity, LintSeverity::Error);
+  EXPECT_EQ(findings.front().devices, (std::vector<int>{1}));
+}
+
+TEST(LintTest, ProtocolMismatchDetected) {
+  std::vector<Device> devices = {
+      {.id = 1, .type = DeviceType::Ied, .protocols = {scadanet::CommProtocol::Modbus}},
+      {.id = 2, .type = DeviceType::Rtu, .protocols = {scadanet::CommProtocol::Dnp3}},
+      {.id = 3, .type = DeviceType::Mtu, .protocols = {scadanet::CommProtocol::Dnp3}},
+  };
+  std::vector<Link> links = {{1, 1, 2}, {2, 2, 3}};
+  const ScadaScenario s(ScadaTopology(std::move(devices), std::move(links)),
+                        SecurityPolicy{}, CryptoRuleRegistry::paper_defaults(),
+                        powersys::MeasurementModel(
+                            powersys::JacobianMatrix::from_rows({{1.0}})),
+                        {{1, {0}}});
+  const auto findings = lint_scenario(s);
+  EXPECT_TRUE(has(findings, LintKind::ProtocolMismatch));
+  EXPECT_TRUE(has(findings, LintKind::UnreachableIed));  // consequence
+}
+
+TEST(LintTest, BrokenCryptoPairingDetected) {
+  std::vector<Device> devices = {
+      {.id = 1, .type = DeviceType::Ied, .suites = {{"hmac", 128}}},  // expects crypto
+      {.id = 2, .type = DeviceType::Rtu},
+      {.id = 3, .type = DeviceType::Mtu},
+  };
+  std::vector<Link> links = {{1, 1, 2}, {2, 2, 3}};
+  const ScadaScenario s(ScadaTopology(std::move(devices), std::move(links)),
+                        SecurityPolicy{},  // no pair profile anywhere
+                        CryptoRuleRegistry::paper_defaults(),
+                        powersys::MeasurementModel(
+                            powersys::JacobianMatrix::from_rows({{1.0}})),
+                        {{1, {0}}});
+  const auto findings = lint_scenario(s);
+  EXPECT_TRUE(has(findings, LintKind::BrokenCryptoPairing));
+}
+
+TEST(LintTest, BannedAlgorithmFlagged) {
+  ScadaScenario base = make_case_study();
+  SecurityPolicy policy = base.policy();
+  policy.set_pair_suites(1, 9, {{"des", 56}});  // the paper's explicit DES example
+  const ScadaScenario s(base.topology(), std::move(policy), base.crypto_rules(),
+                        base.model(), base.measurements_of_ied());
+  const auto findings = lint_scenario(s);
+  EXPECT_TRUE(has(findings, LintKind::BannedAlgorithm));
+  EXPECT_TRUE(has(findings, LintKind::UnauthenticatedHop));
+}
+
+TEST(LintTest, DownLinkFlagged) {
+  ScadaScenario base = make_case_study();
+  auto links = base.topology().links();
+  links[12].up = false;  // router - MTU
+  const ScadaScenario s(ScadaTopology(base.topology().devices(), std::move(links)),
+                        base.policy(), base.crypto_rules(), base.model(),
+                        base.measurements_of_ied());
+  const auto findings = lint_scenario(s);
+  EXPECT_TRUE(has(findings, LintKind::DownLink));
+}
+
+TEST(LintTest, SpofThresholdConfigurable) {
+  const ScadaScenario s = make_case_study();
+  LintOptions options;
+  options.spof_ied_threshold = 1;  // now RTU10 (silences just IED4) counts too
+  const auto findings = lint_scenario(s, options);
+  EXPECT_EQ(count(findings, LintKind::SinglePointOfFailure), 4u);
+}
+
+TEST(LintTest, KindAndSeverityNames) {
+  EXPECT_STREQ(to_string(LintKind::IntegrityGap), "integrity-gap");
+  EXPECT_STREQ(to_string(LintSeverity::Error), "error");
+}
+
+}  // namespace
+}  // namespace scada::core

@@ -1,0 +1,119 @@
+// Direct oracle checks on the case study, following the hand-derivable
+// delivery logic of Fig. 3.
+#include "scada/util/error.hpp"
+#include "scada/core/oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/core/case_study.hpp"
+
+namespace scada::core {
+namespace {
+
+TEST(OracleTest, NominalDeliveryIsComplete) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  const Contingency none;
+  const auto delivered = oracle.delivered(none);
+  for (std::size_t z = 0; z < delivered.size(); ++z) {
+    // Everything assigned to an IED is delivered; measurement 4 (index 3)
+    // has no recording IED.
+    EXPECT_EQ(delivered[z], z != 3) << "measurement " << z + 1;
+  }
+}
+
+TEST(OracleTest, NominalSecuredExcludesWeakHops) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  const Contingency none;
+  const auto secured = oracle.secured(none);
+  // IED1 (m1, m2) rides the hmac-only hop; IED4 (m12) rides RTU10-RTU11.
+  EXPECT_FALSE(secured[0]);
+  EXPECT_FALSE(secured[1]);
+  EXPECT_FALSE(secured[11]);
+  // IED2's m3 and m5 are fully secured.
+  EXPECT_TRUE(secured[2]);
+  EXPECT_TRUE(secured[4]);
+}
+
+TEST(OracleTest, RtuFailureCutsItsSubtree) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  Contingency c;
+  c.failed_devices.insert(9);  // RTU9 carries IEDs 1, 2, 3
+  EXPECT_FALSE(oracle.assured_delivery(1, c));
+  EXPECT_FALSE(oracle.assured_delivery(2, c));
+  EXPECT_FALSE(oracle.assured_delivery(3, c));
+  EXPECT_TRUE(oracle.assured_delivery(4, c));
+  EXPECT_TRUE(oracle.assured_delivery(5, c));
+}
+
+TEST(OracleTest, Rtu11FailureAlsoCutsIed4) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  Contingency c;
+  c.failed_devices.insert(11);  // IED4's only path is 4-10-11-14-13
+  EXPECT_FALSE(oracle.assured_delivery(4, c));
+  EXPECT_FALSE(oracle.assured_delivery(5, c));
+  EXPECT_FALSE(oracle.assured_delivery(6, c));
+  EXPECT_TRUE(oracle.assured_delivery(7, c));
+}
+
+TEST(OracleTest, FailedIedDeliversNothing) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  Contingency c;
+  c.failed_devices.insert(2);
+  EXPECT_FALSE(oracle.assured_delivery(2, c));
+  const auto delivered = oracle.delivered(c);
+  EXPECT_FALSE(delivered[2]);  // m3
+  EXPECT_FALSE(delivered[4]);  // m5
+}
+
+TEST(OracleTest, LinkFailureCutsPath) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  Contingency c;
+  c.failed_links.insert(1);  // IED1 - RTU9
+  EXPECT_FALSE(oracle.assured_delivery(1, c));
+  EXPECT_TRUE(oracle.assured_delivery(2, c));
+}
+
+TEST(OracleTest, PropertyVerdictsNominal) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  const Contingency none;
+  EXPECT_TRUE(oracle.holds(Property::Observability, none));
+  EXPECT_TRUE(oracle.holds(Property::SecuredObservability, none));
+  // Weakest state is bus 3 with four secured covering measurements
+  // (m6, m8, m11, m13): r <= 3 holds, r = 4 does not.
+  EXPECT_TRUE(oracle.holds(Property::BadDataDetectability, none, 1));
+  EXPECT_TRUE(oracle.holds(Property::BadDataDetectability, none, 3));
+  EXPECT_FALSE(oracle.holds(Property::BadDataDetectability, none, 4));
+}
+
+TEST(OracleTest, PaperThreatVectorBreaksObservability) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  Contingency c;
+  c.failed_devices = {2, 7, 11};
+  EXPECT_FALSE(oracle.holds(Property::Observability, c));
+}
+
+TEST(OracleTest, PaperThreatVectorBreaksSecuredObservability) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  Contingency c;
+  c.failed_devices = {3, 11};
+  EXPECT_TRUE(oracle.holds(Property::Observability, c));
+  EXPECT_FALSE(oracle.holds(Property::SecuredObservability, c));
+}
+
+TEST(OracleTest, UnknownIedThrows) {
+  const ScadaScenario s = make_case_study();
+  ScenarioOracle oracle(s);
+  EXPECT_THROW((void)oracle.assured_delivery(99, Contingency{}), ConfigError);
+}
+
+}  // namespace
+}  // namespace scada::core

@@ -1,0 +1,114 @@
+// Multi-MTU systems end to end (the §III-B architecture the paper describes
+// and then scopes out): a regional secondary MTU concentrates two RTUs
+// toward the main control center. Secondary MTUs are reliable (not part of
+// the failure budget) but their hops still need protocol/crypto pairing and
+// secured suites for secured observability.
+#include <gtest/gtest.h>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/core/oracle.hpp"
+#include "scada/core/lint.hpp"
+#include "scada/io/case_format.hpp"
+
+#include <algorithm>
+
+namespace scada::core {
+namespace {
+
+/// 4 IEDs -> 2 RTUs -> secondary MTU 20 -> main MTU 10.
+/// Measurements: the triangle grid's both-end flows (6 rows over 3 states).
+ScadaScenario multi_mtu_scenario(bool secure_concentrator_hop) {
+  std::vector<scadanet::Device> devices;
+  for (int id = 1; id <= 4; ++id) {
+    devices.push_back({.id = id, .type = scadanet::DeviceType::Ied});
+  }
+  devices.push_back({.id = 5, .type = scadanet::DeviceType::Rtu});
+  devices.push_back({.id = 6, .type = scadanet::DeviceType::Rtu});
+  devices.push_back({.id = 10, .type = scadanet::DeviceType::Mtu});  // main
+  devices.push_back({.id = 20, .type = scadanet::DeviceType::Mtu});  // regional
+
+  std::vector<scadanet::Link> links = {
+      {1, 1, 5}, {2, 2, 5}, {3, 3, 6}, {4, 4, 6}, {5, 5, 20}, {6, 6, 20}, {7, 20, 10},
+  };
+
+  scadanet::SecurityPolicy policy;
+  for (const auto& [a, b] : {std::pair{1, 5}, {2, 5}, {3, 6}, {4, 6}, {5, 20}, {6, 20}}) {
+    policy.set_pair_suites(a, b, {{"chap", 64}, {"sha2", 256}});
+  }
+  policy.set_pair_suites(20, 10,
+                         secure_concentrator_hop
+                             ? std::vector<scadanet::CryptoSuite>{{"rsa", 2048}, {"aes", 256}}
+                             : std::vector<scadanet::CryptoSuite>{{"hmac", 128}});
+
+  const powersys::BusSystem grid("tri", 3, {{1, 2, 0.1}, {2, 3, 0.2}, {1, 3, 0.25}});
+  std::vector<powersys::Measurement> placement;
+  for (std::size_t b = 0; b < 3; ++b) {
+    placement.push_back(powersys::Measurement::flow_forward(b));
+    placement.push_back(powersys::Measurement::flow_backward(b));
+  }
+  return ScadaScenario(
+      scadanet::ScadaTopology(std::move(devices), std::move(links)), std::move(policy),
+      scadanet::CryptoRuleRegistry::paper_defaults(),
+      powersys::MeasurementModel(grid, std::move(placement)),
+      // Each line's two end measurements live on different IEDs, so no
+      // single IED failure erases a whole unique-measurement group.
+      {{1, {0, 2}}, {2, {1, 3}}, {3, {4}}, {4, {5}}});
+}
+
+TEST(MultiMtu, DeliveryRunsThroughTheConcentrator) {
+  const ScadaScenario s = multi_mtu_scenario(true);
+  ScenarioOracle oracle(s);
+  for (const int ied : s.ied_ids()) {
+    EXPECT_TRUE(oracle.assured_delivery(ied, Contingency{})) << "IED " << ied;
+    EXPECT_TRUE(oracle.secured_delivery(ied, Contingency{})) << "IED " << ied;
+  }
+  // Secondary MTUs are not field devices: they never appear in budgets.
+  EXPECT_EQ(s.ied_ids().size(), 4u);
+  EXPECT_EQ(s.rtu_ids().size(), 2u);
+}
+
+TEST(MultiMtu, VerdictsMatchOnBothBackends) {
+  const ScadaScenario s = multi_mtu_scenario(true);
+  for (const auto backend : {smt::Backend::Z3, smt::Backend::Cdcl}) {
+    AnalyzerOptions options;
+    options.solver.backend = backend;
+    ScadaAnalyzer analyzer(s, options);
+    // Any single RTU failure cuts two IEDs; with 3 states and 3 line groups,
+    // losing a whole RTU still leaves 2 groups < 3 -> not 1-RTU resilient.
+    EXPECT_TRUE(analyzer.verify(Property::Observability, ResiliencySpec::per_type(1, 0))
+                    .resilient());
+    const auto rtu_fail =
+        analyzer.verify(Property::Observability, ResiliencySpec::per_type(0, 1));
+    EXPECT_FALSE(rtu_fail.resilient());
+  }
+}
+
+TEST(MultiMtu, WeakConcentratorHopKillsSecuredObservability) {
+  // The regional-to-main hop is the single security chokepoint: hmac-only
+  // there makes every measurement insecure while plain delivery still works.
+  const ScadaScenario weak = multi_mtu_scenario(false);
+  ScenarioOracle oracle(weak);
+  EXPECT_TRUE(oracle.holds(Property::Observability, Contingency{}));
+  EXPECT_FALSE(oracle.holds(Property::SecuredObservability, Contingency{}));
+
+  const auto findings = lint_scenario(weak);
+  const bool flagged = std::any_of(findings.begin(), findings.end(), [](const auto& f) {
+    return f.kind == LintKind::IntegrityGap && f.devices == std::vector<int>{10, 20};
+  });
+  EXPECT_TRUE(flagged) << "lint must name the weak concentrator hop";
+}
+
+TEST(MultiMtu, CaseFormatRoundTrip) {
+  const ScadaScenario s = multi_mtu_scenario(true);
+  const io::CaseFile reparsed = io::read_case_string(io::write_case_string(s));
+  EXPECT_EQ(reparsed.scenario.topology().mtu_id(), 10);
+  EXPECT_EQ(reparsed.scenario.topology().ids_of(scadanet::DeviceType::Mtu),
+            (std::vector<int>{10, 20}));
+  ScadaAnalyzer a(s);
+  ScadaAnalyzer b(reparsed.scenario);
+  EXPECT_EQ(a.verify(Property::SecuredObservability, ResiliencySpec::total(1)).result,
+            b.verify(Property::SecuredObservability, ResiliencySpec::total(1)).result);
+}
+
+}  // namespace
+}  // namespace scada::core

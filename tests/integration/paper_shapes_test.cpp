@@ -1,0 +1,95 @@
+// Regression locks on the *shapes* the paper's evaluation reports (§V),
+// checked on fixed seeds so a refactor that silently breaks a trend fails CI:
+//   Fig 7(a): more measurements -> no lower maximum resiliency; IED
+//             tolerance >= RTU tolerance.
+//   Fig 7(b): deeper hierarchy -> no smaller threat space; larger spec ->
+//             no smaller threat space.
+//   §VII:     a ~260-device system verifies in far under 30 seconds.
+#include <gtest/gtest.h>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/synth/generator.hpp"
+#include "scada/util/timer.hpp"
+
+namespace scada::core {
+namespace {
+
+ScadaScenario scenario_14(double fraction, int hierarchy, std::uint64_t seed) {
+  synth::SynthConfig config;
+  config.buses = 14;
+  config.measurement_fraction = fraction;
+  config.hierarchy_level = hierarchy;
+  config.seed = seed;
+  return synth::generate_scenario(config);
+}
+
+TEST(PaperShapes, Fig7a_MoreMeasurementsMoreResiliency) {
+  for (const std::uint64_t seed : {401ULL, 402ULL, 403ULL}) {
+    int previous_ied = -1;
+    int previous_rtu = -1;
+    for (const double fraction : {0.4, 0.7, 1.0}) {
+      const ScadaScenario s = scenario_14(fraction, 1, seed);
+      ScadaAnalyzer analyzer(s);
+      const int max_ied =
+          analyzer.max_resiliency(Property::Observability, FailureClass::IedOnly).max_k;
+      const int max_rtu =
+          analyzer.max_resiliency(Property::Observability, FailureClass::RtuOnly).max_k;
+      // Monotone trend across the sweep (aggregated per seed).
+      EXPECT_GE(max_ied, previous_ied) << "seed " << seed << " fraction " << fraction;
+      EXPECT_GE(max_rtu, previous_rtu) << "seed " << seed << " fraction " << fraction;
+      // IED-failure tolerance dominates RTU-failure tolerance.
+      EXPECT_GE(max_ied, max_rtu) << "seed " << seed << " fraction " << fraction;
+      previous_ied = max_ied;
+      previous_rtu = max_rtu;
+    }
+  }
+}
+
+TEST(PaperShapes, Fig7b_DeeperHierarchyLargerThreatSpace) {
+  for (const std::uint64_t seed : {411ULL, 412ULL}) {
+    std::size_t previous = 0;
+    for (const int hierarchy : {1, 3}) {
+      const ScadaScenario s = scenario_14(0.75, hierarchy, seed);
+      ScadaAnalyzer analyzer(s);
+      const std::size_t threats =
+          analyzer
+              .enumerate_threats(Property::Observability, ResiliencySpec::per_type(1, 1),
+                                 512, /*minimal_only=*/false)
+              .size();
+      EXPECT_GE(threats, previous) << "seed " << seed << " hierarchy " << hierarchy;
+      previous = threats;
+    }
+  }
+}
+
+TEST(PaperShapes, Fig7b_LargerSpecLargerThreatSpace) {
+  const ScadaScenario s = scenario_14(0.75, 2, 421);
+  ScadaAnalyzer analyzer(s);
+  const auto count = [&](const ResiliencySpec& spec) {
+    return analyzer
+        .enumerate_threats(Property::Observability, spec, 512, /*minimal_only=*/false)
+        .size();
+  };
+  EXPECT_LE(count(ResiliencySpec::per_type(1, 1)), count(ResiliencySpec::per_type(2, 1)));
+}
+
+TEST(PaperShapes, ConclusionClaim_LargeSystemVerifiesFast) {
+  // Paper §VII: "execution time lies within 30 seconds for a SCADA system
+  // with 400 physical devices". Our 118-bus synthetic carries ~260 field
+  // devices; demand an order of magnitude of headroom.
+  synth::SynthConfig config;
+  config.buses = 118;
+  config.hierarchy_level = 2;
+  config.measurement_fraction = 0.75;
+  config.seed = 118;
+  const ScadaScenario s = synth::generate_scenario(config);
+  ASSERT_GE(synth::stats_of(s).field_devices(), 200u);
+
+  ScadaAnalyzer analyzer(s);
+  util::WallTimer timer;
+  (void)analyzer.verify(Property::Observability, ResiliencySpec::total(2));
+  EXPECT_LT(timer.seconds(), 3.0);
+}
+
+}  // namespace
+}  // namespace scada::core

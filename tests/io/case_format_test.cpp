@@ -1,0 +1,189 @@
+#include "scada/io/case_format.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/core/case_study.hpp"
+#include "scada/util/error.hpp"
+#include "scada/util/rng.hpp"
+
+namespace scada::io {
+namespace {
+
+const char* kTinyCase = R"(# a 2-state toy
+[counts]
+states 2
+measurements 2
+[jacobian]
+1.0 -1.0
+0.0 1.0
+[devices]
+ied 1
+rtu 2
+mtu 3
+[links]
+1 1 2
+2 2 3
+[measurements]
+1 1 2
+[security]
+1 2 chap 64 sha2 128
+2 3 rsa 2048 aes 256
+[spec]
+k1 1
+k2 0
+r 1
+)";
+
+TEST(CaseFormatTest, ParsesTinyCase) {
+  const CaseFile parsed = read_case_string(kTinyCase);
+  EXPECT_EQ(parsed.scenario.model().num_states(), 2u);
+  EXPECT_EQ(parsed.scenario.model().num_measurements(), 2u);
+  EXPECT_EQ(parsed.scenario.ied_ids(), (std::vector<int>{1}));
+  EXPECT_EQ(parsed.scenario.ied_of_measurement(0), 1);
+  ASSERT_TRUE(parsed.spec.has_value());
+  EXPECT_EQ(parsed.spec->k_ied, 1);
+  EXPECT_EQ(parsed.spec->k_rtu, 0);
+  EXPECT_EQ(parsed.spec->r, 1);
+  ASSERT_NE(parsed.scenario.policy().pair_suites(1, 2), nullptr);
+  EXPECT_EQ(parsed.scenario.policy().pair_suites(1, 2)->size(), 2u);
+}
+
+TEST(CaseFormatTest, ParsedCaseIsAnalyzable) {
+  const CaseFile parsed = read_case_string(kTinyCase);
+  core::ScadaAnalyzer analyzer(parsed.scenario);
+  // The single IED carries everything: one IED failure is fatal.
+  EXPECT_FALSE(analyzer.verify(core::Property::Observability, *parsed.spec).resilient());
+  EXPECT_TRUE(analyzer
+                  .verify(core::Property::Observability,
+                          core::ResiliencySpec::per_type(0, 0))
+                  .resilient());
+}
+
+TEST(CaseFormatTest, RoundTripPreservesVerdicts) {
+  const core::ScadaScenario original = core::make_case_study();
+  const std::string text =
+      write_case_string(original, core::ResiliencySpec::per_type(1, 1));
+  const CaseFile reparsed = read_case_string(text);
+
+  core::ScadaAnalyzer a(original);
+  core::ScadaAnalyzer b(reparsed.scenario);
+  ASSERT_TRUE(reparsed.spec.has_value());
+  for (const auto property :
+       {core::Property::Observability, core::Property::SecuredObservability}) {
+    EXPECT_EQ(a.verify(property, *reparsed.spec).result,
+              b.verify(property, *reparsed.spec).result);
+  }
+}
+
+TEST(CaseFormatTest, RoundTripPreservesStructure) {
+  const core::ScadaScenario original = core::make_case_study();
+  const CaseFile reparsed = read_case_string(write_case_string(original));
+  EXPECT_EQ(reparsed.scenario.model().num_measurements(),
+            original.model().num_measurements());
+  EXPECT_EQ(reparsed.scenario.topology().links().size(),
+            original.topology().links().size());
+  EXPECT_EQ(reparsed.scenario.measurements_of_ied(), original.measurements_of_ied());
+  EXPECT_EQ(reparsed.scenario.policy().num_profiles(), original.policy().num_profiles());
+  EXPECT_FALSE(reparsed.spec.has_value());
+}
+
+TEST(CaseFormatTest, DownLinksRoundTrip) {
+  const char* text = R"([counts]
+states 1
+measurements 1
+[jacobian]
+1.0
+[devices]
+ied 1
+mtu 2
+[links]
+1 1 2 down
+[measurements]
+1 1
+)";
+  const CaseFile parsed = read_case_string(text);
+  EXPECT_FALSE(parsed.scenario.topology().link(1).up);
+  const std::string rewritten = write_case_string(parsed.scenario);
+  EXPECT_NE(rewritten.find("1 1 2 down"), std::string::npos);
+}
+
+TEST(CaseFormatTest, Errors) {
+  EXPECT_THROW((void)read_case_string("x\n"), ParseError);  // content before section
+  EXPECT_THROW((void)read_case_string("[bogus]\nx 1\n"), ParseError);
+  EXPECT_THROW((void)read_case_string("[counts]\nstates 2\n"), ParseError);  // missing msr
+  EXPECT_THROW((void)read_case_string("[counts]\nstates 2\nmeasurements 1\n[jacobian]\n1 2\n1 2\n"),
+               ParseError);  // row count mismatch declared
+  EXPECT_THROW((void)read_case_string("[counts]\nstates 2\nmeasurements 1\n[jacobian]\n1\n"),
+               ParseError);  // short row
+  EXPECT_THROW((void)read_case_string("[counts]\nstates -1\n"), ParseError);
+  EXPECT_THROW((void)read_case_string("[jacobian]\n1 2\n"), ParseError);  // before counts
+  EXPECT_THROW((void)read_case_file("/nonexistent/path.case"), ParseError);
+}
+
+TEST(CaseFormatTest, SecuritySectionValidation) {
+  const char* bad = R"([counts]
+states 1
+measurements 1
+[jacobian]
+1.0
+[security]
+1 2 hmac
+)";
+  EXPECT_THROW((void)read_case_string(bad), ParseError);
+}
+
+TEST(CaseFormatTest, ErrorsCarryLineNumbers) {
+  try {
+    (void)read_case_string("[counts]\nstates two\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+
+TEST(CaseFormatTest, FuzzedInputsFailCleanly) {
+  // Random mutations of a valid case file must either parse or raise
+  // ParseError/ConfigError — never crash or accept garbage silently.
+  const std::string valid = write_case_string(core::make_case_study());
+  util::Rng rng(20260706);
+  int parsed_ok = 0, rejected = 0;
+  for (int round = 0; round < 200; ++round) {
+    std::string mutated = valid;
+    const std::size_t edits = 1 + rng.index(6);
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng.index(mutated.size());
+      switch (rng.index(3)) {
+        case 0: mutated[pos] = static_cast<char>(rng.uniform(32, 126)); break;
+        case 1: mutated.erase(pos, 1 + rng.index(20)); break;
+        default: mutated.insert(pos, std::string(1 + rng.index(5), '9')); break;
+      }
+    }
+    try {
+      const CaseFile parsed = read_case_string(mutated);
+      (void)parsed;
+      ++parsed_ok;
+    } catch (const ParseError&) {
+      ++rejected;
+    } catch (const ConfigError&) {
+      ++rejected;
+    } catch (const ScadaError&) {
+      ++rejected;
+    }
+  }
+  // Both outcomes occur across 200 rounds; nothing else escaped.
+  EXPECT_GT(rejected, 0);
+  EXPECT_EQ(parsed_ok + rejected, 200);
+}
+
+TEST(CaseFormatTest, TruncatedFilesRejected) {
+  const std::string valid = write_case_string(core::make_case_study());
+  // Cut inside the jacobian: row count no longer matches [counts].
+  const std::size_t cut = valid.find("[devices]");
+  ASSERT_NE(cut, std::string::npos);
+  EXPECT_THROW((void)read_case_string(valid.substr(0, cut / 2)), ParseError);
+}
+
+}  // namespace
+}  // namespace scada::io

@@ -1,0 +1,67 @@
+#include "scada/io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/core/case_study.hpp"
+
+namespace scada::io {
+namespace {
+
+TEST(JsonTest, QuoteEscapes) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(json_quote("back\\slash"), "\"back\\\\slash\"");
+  EXPECT_EQ(json_quote("line\nbreak"), "\"line\\nbreak\"");
+  EXPECT_EQ(json_quote(std::string("ctl\x01") ), "\"ctl\\u0001\"");
+}
+
+TEST(JsonTest, ThreatVector) {
+  const core::ThreatVector v{{2, 7}, {11}, {}};
+  EXPECT_EQ(threat_to_json(v),
+            "{\"failed_ieds\":[2,7],\"failed_rtus\":[11],\"failed_links\":[]}");
+}
+
+TEST(JsonTest, ThreatList) {
+  EXPECT_EQ(threats_to_json({}), "[]");
+  const std::vector<core::ThreatVector> two = {{{1}, {}, {}}, {{}, {9}, {}}};
+  const std::string json = threats_to_json(two);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("},{"), std::string::npos);
+}
+
+TEST(JsonTest, VerificationSatAndUnsat) {
+  const core::ScadaScenario s = core::make_case_study();
+  core::ScadaAnalyzer analyzer(s);
+  const auto spec = core::ResiliencySpec::per_type(1, 1);
+
+  const auto unsat = analyzer.verify(core::Property::Observability, spec);
+  const std::string unsat_json =
+      verification_to_json(core::Property::Observability, spec, unsat);
+  EXPECT_NE(unsat_json.find("\"result\":\"unsat\""), std::string::npos);
+  EXPECT_NE(unsat_json.find("\"resilient\":true"), std::string::npos);
+  EXPECT_NE(unsat_json.find("\"threat\":null"), std::string::npos);
+
+  const auto sat = analyzer.verify(core::Property::SecuredObservability, spec);
+  const std::string sat_json =
+      verification_to_json(core::Property::SecuredObservability, spec, sat);
+  EXPECT_NE(sat_json.find("\"result\":\"sat\""), std::string::npos);
+  EXPECT_NE(sat_json.find("\"failed_rtus\":["), std::string::npos);
+}
+
+TEST(JsonTest, CriticalityAndLint) {
+  const core::ScadaScenario s = core::make_case_study();
+  core::ScadaAnalyzer analyzer(s);
+  const auto threats = analyzer.enumerate_threats(core::Property::SecuredObservability,
+                                                  core::ResiliencySpec::per_type(1, 1));
+  const std::string crit = criticality_to_json(core::criticality_ranking(s, threats));
+  EXPECT_NE(crit.find("\"type\":\"RTU\""), std::string::npos);
+  EXPECT_NE(crit.find("\"share\":"), std::string::npos);
+
+  const std::string lint = lint_to_json(core::lint_scenario(s));
+  EXPECT_NE(lint.find("\"check\":\"integrity-gap\""), std::string::npos);
+  EXPECT_NE(lint.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_EQ(lint_to_json({}), "[]");
+}
+
+}  // namespace
+}  // namespace scada::io

@@ -1,0 +1,82 @@
+#include "scada/io/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/core/case_study.hpp"
+#include "scada/core/criticality.hpp"
+#include "scada/core/lint.hpp"
+
+namespace scada::io {
+namespace {
+
+TEST(ReportTest, VerificationUnsatRendering) {
+  const core::ScadaScenario s = core::make_case_study();
+  core::ScadaAnalyzer analyzer(s);
+  const auto result =
+      analyzer.verify(core::Property::Observability, core::ResiliencySpec::per_type(1, 1));
+  const std::string text =
+      render_verification(core::Property::Observability, core::ResiliencySpec::per_type(1, 1),
+                          result);
+  EXPECT_NE(text.find("observability"), std::string::npos);
+  EXPECT_NE(text.find("unsat"), std::string::npos);
+  EXPECT_NE(text.find("resilient"), std::string::npos);
+}
+
+TEST(ReportTest, VerificationSatIncludesThreat) {
+  const core::ScadaScenario s = core::make_case_study();
+  core::ScadaAnalyzer analyzer(s);
+  const auto result =
+      analyzer.verify(core::Property::Observability, core::ResiliencySpec::per_type(2, 1));
+  const std::string text =
+      render_verification(core::Property::Observability, core::ResiliencySpec::per_type(2, 1),
+                          result);
+  EXPECT_NE(text.find("sat"), std::string::npos);
+  EXPECT_NE(text.find("threat"), std::string::npos);
+}
+
+TEST(ReportTest, ThreatTable) {
+  const std::vector<core::ThreatVector> threats = {
+      {{2, 7}, {11}, {}},
+      {{}, {12}, {}},
+  };
+  const std::string text = render_threats(threats);
+  EXPECT_NE(text.find("2,7"), std::string::npos);
+  EXPECT_NE(text.find("11"), std::string::npos);
+  EXPECT_NE(text.find("-"), std::string::npos);  // empty cells are dashes
+}
+
+TEST(ReportTest, SecurityAuditFlagsWeakHops) {
+  const core::ScadaScenario s = core::make_case_study();
+  const std::string text = render_security_audit(s);
+  // The hmac-only hops must show NO under integrity.
+  EXPECT_NE(text.find("1-9"), std::string::npos);
+  EXPECT_NE(text.find("hmac-128"), std::string::npos);
+  EXPECT_NE(text.find("NO"), std::string::npos);
+  EXPECT_NE(text.find("yes"), std::string::npos);
+}
+
+
+TEST(ReportTest, CriticalityTable) {
+  const core::ScadaScenario s = core::make_case_study();
+  core::ScadaAnalyzer analyzer(s);
+  const auto threats = analyzer.enumerate_threats(core::Property::SecuredObservability,
+                                                  core::ResiliencySpec::per_type(1, 1));
+  const auto ranking = core::criticality_ranking(s, threats);
+  const std::string text = render_criticality(ranking);
+  EXPECT_NE(text.find("RTU"), std::string::npos);
+  EXPECT_NE(text.find("%"), std::string::npos);
+  // Safe devices hidden by default, shown on request.
+  const std::string with_safe = render_criticality(ranking, /*include_safe=*/true);
+  EXPECT_GT(with_safe.size(), text.size());
+}
+
+TEST(ReportTest, LintTable) {
+  const core::ScadaScenario s = core::make_case_study();
+  const std::string text = render_lint(core::lint_scenario(s));
+  EXPECT_NE(text.find("integrity-gap"), std::string::npos);
+  EXPECT_NE(text.find("single-point-of-failure"), std::string::npos);
+  EXPECT_EQ(render_lint({}), "clean configuration: no lint findings\n");
+}
+
+}  // namespace
+}  // namespace scada::io

@@ -1,0 +1,126 @@
+#include "scada/powersys/bus_system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+namespace {
+
+TEST(BusSystemTest, Ieee14Shape) {
+  const BusSystem s = BusSystem::ieee14();
+  EXPECT_EQ(s.num_buses(), 14);
+  EXPECT_EQ(s.num_branches(), 20u);
+  EXPECT_TRUE(s.is_connected());
+  EXPECT_NEAR(s.average_degree(), 2.857, 0.01);
+}
+
+TEST(BusSystemTest, Ieee30Shape) {
+  const BusSystem s = BusSystem::ieee30();
+  EXPECT_EQ(s.num_buses(), 30);
+  EXPECT_EQ(s.num_branches(), 41u);
+  EXPECT_TRUE(s.is_connected());
+}
+
+TEST(BusSystemTest, Ieee57And118StandInsMatchPublishedCounts) {
+  const BusSystem s57 = BusSystem::ieee57();
+  EXPECT_EQ(s57.num_buses(), 57);
+  EXPECT_EQ(s57.num_branches(), 80u);
+  EXPECT_TRUE(s57.is_connected());
+
+  const BusSystem s118 = BusSystem::ieee118();
+  EXPECT_EQ(s118.num_buses(), 118);
+  EXPECT_EQ(s118.num_branches(), 186u);
+  EXPECT_TRUE(s118.is_connected());
+}
+
+TEST(BusSystemTest, IeeeDispatch) {
+  EXPECT_EQ(BusSystem::ieee(14).num_buses(), 14);
+  EXPECT_EQ(BusSystem::ieee(118).num_buses(), 118);
+  EXPECT_THROW((void)BusSystem::ieee(99), ConfigError);
+}
+
+TEST(BusSystemTest, AverageDegreeNearThreeAcrossSizes) {
+  // The paper's reference [9]: power grids have average degree ~3.
+  for (const int buses : {14, 30, 57, 118}) {
+    const BusSystem s = BusSystem::ieee(buses);
+    EXPECT_NEAR(s.average_degree(), 3.0, 0.45) << buses << " buses";
+  }
+}
+
+TEST(BusSystemTest, SyntheticIsConnectedAndDeterministic) {
+  const BusSystem a = BusSystem::synthetic(40, 58, 7);
+  const BusSystem b = BusSystem::synthetic(40, 58, 7);
+  EXPECT_TRUE(a.is_connected());
+  EXPECT_EQ(a.num_branches(), 58u);
+  ASSERT_EQ(a.num_branches(), b.num_branches());
+  for (std::size_t i = 0; i < a.num_branches(); ++i) {
+    EXPECT_EQ(a.branches()[i].from, b.branches()[i].from);
+    EXPECT_EQ(a.branches()[i].to, b.branches()[i].to);
+    EXPECT_DOUBLE_EQ(a.branches()[i].reactance, b.branches()[i].reactance);
+  }
+}
+
+TEST(BusSystemTest, SyntheticDifferentSeedsDiffer) {
+  const BusSystem a = BusSystem::synthetic(40, 58, 7);
+  const BusSystem b = BusSystem::synthetic(40, 58, 8);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.num_branches(); ++i) {
+    if (a.branches()[i].from != b.branches()[i].from ||
+        a.branches()[i].to != b.branches()[i].to) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(BusSystemTest, SyntheticHasNoDuplicateBranches) {
+  const BusSystem s = BusSystem::synthetic(25, 36, 3);
+  std::set<std::pair<int, int>> seen;
+  for (const Branch& br : s.branches()) {
+    const auto key = std::minmax(br.from, br.to);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second);
+  }
+}
+
+TEST(BusSystemTest, SyntheticValidation) {
+  EXPECT_THROW((void)BusSystem::synthetic(1, 0, 1), ConfigError);
+  EXPECT_THROW((void)BusSystem::synthetic(10, 3, 1), ConfigError);  // < buses-1
+  EXPECT_THROW((void)BusSystem::synthetic(5, 100, 1), ConfigError);  // > complete graph
+}
+
+TEST(BusSystemTest, ConstructorValidation) {
+  EXPECT_THROW(BusSystem("x", 3, {{1, 4, 0.1}}), ConfigError);  // endpoint out of range
+  EXPECT_THROW(BusSystem("x", 3, {{2, 2, 0.1}}), ConfigError);  // self loop
+  EXPECT_THROW(BusSystem("x", 3, {{1, 2, 0.0}}), ConfigError);  // zero reactance
+  EXPECT_THROW(BusSystem("x", 0, {}), ConfigError);             // no buses
+}
+
+TEST(BusSystemTest, BranchesAtIndexesIncidence) {
+  const BusSystem s = BusSystem::ieee14();
+  // Bus 4 touches branches 2-4, 3-4, 4-5, 4-7, 4-9.
+  EXPECT_EQ(s.branches_at(4).size(), 5u);
+  for (const std::size_t bi : s.branches_at(4)) {
+    const Branch& br = s.branches()[bi];
+    EXPECT_TRUE(br.from == 4 || br.to == 4);
+  }
+  EXPECT_THROW((void)s.branches_at(0), ConfigError);
+  EXPECT_THROW((void)s.branches_at(15), ConfigError);
+}
+
+TEST(BusSystemTest, SusceptanceIsInverseReactance) {
+  const Branch br{1, 2, 0.05917};
+  EXPECT_NEAR(br.susceptance(), 16.9, 0.01);
+}
+
+TEST(BusSystemTest, DisconnectedGraphDetected) {
+  const BusSystem s("disc", 4, {{1, 2, 0.1}, {3, 4, 0.1}});
+  EXPECT_FALSE(s.is_connected());
+}
+
+}  // namespace
+}  // namespace scada::powersys

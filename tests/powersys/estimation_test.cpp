@@ -1,0 +1,165 @@
+// DC state estimation and bad-data detection: the numerical counterpart of
+// the formal properties. Key theorems exercised here:
+//   * solvable == rank_observable (observability IS estimator solvability),
+//   * a redundantly covered corrupted measurement is detected,
+//   * a critical measurement's corruption is invisible (zero residual) —
+//     the §III-E motivation for requiring r+1 covering measurements.
+#include "scada/powersys/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "scada/powersys/observability.hpp"
+#include "scada/util/error.hpp"
+#include "scada/util/rng.hpp"
+
+namespace scada::powersys {
+namespace {
+
+BusSystem triangle() {
+  return BusSystem("tri", 3, {{1, 2, 0.1}, {2, 3, 0.2}, {1, 3, 0.25}});
+}
+
+std::vector<double> reference_state(std::size_t n, util::Rng& rng, std::size_t ref = 0) {
+  std::vector<double> x(n);
+  for (auto& v : x) v = (rng.uniform01() - 0.5) * 0.4;  // small angles
+  x[ref] = 0.0;
+  return x;
+}
+
+TEST(EstimationTest, RecoversTrueStateFromConsistentReadings) {
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  util::Rng rng(1);
+  const auto x_true = reference_state(model.num_states(), rng);
+  const auto z = synthesize_readings(model, x_true);
+  const std::vector<bool> all(model.num_measurements(), true);
+
+  const EstimationResult est = estimate_dc_state(model, all, z);
+  ASSERT_TRUE(est.solvable);
+  for (std::size_t c = 0; c < x_true.size(); ++c) {
+    EXPECT_NEAR(est.state[c], x_true[c], 1e-7) << "state " << c;
+  }
+  EXPECT_NEAR(est.objective, 0.0, 1e-10);
+}
+
+TEST(EstimationTest, SolvableExactlyWhenRankObservable) {
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  util::Rng rng(2);
+  const auto z = synthesize_readings(model, reference_state(model.num_states(), rng));
+  int solvable_count = 0;
+  for (int round = 0; round < 40; ++round) {
+    std::vector<bool> delivered(model.num_measurements());
+    for (std::size_t i = 0; i < delivered.size(); ++i) delivered[i] = rng.chance(0.4);
+    const bool solvable = estimate_dc_state(model, delivered, z).solvable;
+    EXPECT_EQ(solvable, rank_observable(model, delivered)) << "round " << round;
+    solvable_count += solvable ? 1 : 0;
+  }
+  EXPECT_GT(solvable_count, 0);
+  EXPECT_LT(solvable_count, 40);
+}
+
+TEST(EstimationTest, UnobservableSetIsNotSolvable) {
+  const auto grid = triangle();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  std::vector<bool> delivered(model.num_measurements(), false);
+  delivered[0] = true;  // one flow only
+  const auto z = synthesize_readings(model, {0.0, 0.1, 0.2});
+  EXPECT_FALSE(estimate_dc_state(model, delivered, z).solvable);
+}
+
+TEST(EstimationTest, GrossErrorOnRedundantMeasurementDetected) {
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  util::Rng rng(3);
+  auto z = synthesize_readings(model, reference_state(model.num_states(), rng));
+  const std::vector<bool> all(model.num_measurements(), true);
+
+  const std::size_t bad = 5;
+  z[bad] += 10.0;  // gross error
+
+  const BadDataResult result = detect_bad_data(model, all, z);
+  EXPECT_TRUE(result.detected);
+  EXPECT_EQ(result.suspect, bad);
+  EXPECT_GT(result.max_normalized_residual, 3.0);
+}
+
+TEST(EstimationTest, CleanReadingsRaiseNoAlarm) {
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  util::Rng rng(4);
+  const auto z = synthesize_readings(model, reference_state(model.num_states(), rng));
+  const std::vector<bool> all(model.num_measurements(), true);
+  const BadDataResult result = detect_bad_data(model, all, z);
+  EXPECT_FALSE(result.detected);
+}
+
+TEST(EstimationTest, CriticalMeasurementCorruptionIsInvisible) {
+  // Triangle with a minimal observable set: flows on 1-2 and 2-3 only.
+  // Both are critical (m = k): corrupt one, the estimator still fits
+  // perfectly and the test reports it critical instead of suspicious.
+  const auto grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),
+                                      Measurement::flow_forward(1),
+                                      Measurement::flow_forward(2)});
+  std::vector<bool> delivered{true, true, false};
+  auto z = synthesize_readings(model, {0.0, 0.1, 0.25});
+  z[0] += 50.0;  // gross corruption of a critical measurement
+
+  const BadDataResult result = detect_bad_data(model, delivered, z);
+  EXPECT_FALSE(result.detected);
+  EXPECT_EQ(result.critical.size(), 2u);  // both delivered flows are critical
+  // With the third flow delivered too, the same corruption IS caught.
+  delivered[2] = true;
+  const BadDataResult redundant = detect_bad_data(model, delivered, z);
+  EXPECT_TRUE(redundant.detected);
+  EXPECT_EQ(redundant.suspect, 0u);
+  EXPECT_TRUE(redundant.critical.empty());
+}
+
+TEST(EstimationTest, ExplicitFullRankModelNeedsNoReference) {
+  // A square invertible explicit Jacobian (like Table II's full-rank case).
+  const MeasurementModel model(JacobianMatrix::from_rows({
+      {2.0, 0.0},
+      {1.0, 1.0},
+  }));
+  const std::vector<double> x_true{0.3, -0.2};
+  const auto z = synthesize_readings(model, x_true);
+  const auto est = estimate_dc_state(model, {true, true}, z, std::nullopt);
+  ASSERT_TRUE(est.solvable);
+  EXPECT_NEAR(est.state[0], 0.3, 1e-9);
+  EXPECT_NEAR(est.state[1], -0.2, 1e-9);
+}
+
+TEST(EstimationTest, InputValidation) {
+  const auto grid = triangle();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  const std::vector<double> z(model.num_measurements(), 0.0);
+  EXPECT_THROW((void)estimate_dc_state(model, {true}, z), ConfigError);
+  EXPECT_THROW((void)estimate_dc_state(model, std::vector<bool>(9, true), {1.0}),
+               ConfigError);
+  EXPECT_THROW((void)estimate_dc_state(model, std::vector<bool>(9, true), z, 99),
+               ConfigError);
+  EXPECT_THROW((void)synthesize_readings(model, {1.0}), ConfigError);
+}
+
+TEST(EstimationTest, NoisyReadingsStayNearTruth) {
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  util::Rng rng(6);
+  const auto x_true = reference_state(model.num_states(), rng);
+  auto z = synthesize_readings(model, x_true);
+  for (auto& reading : z) reading += (rng.uniform01() - 0.5) * 1e-3;
+  const std::vector<bool> all(model.num_measurements(), true);
+  const auto est = estimate_dc_state(model, all, z);
+  ASSERT_TRUE(est.solvable);
+  for (std::size_t c = 0; c < x_true.size(); ++c) {
+    EXPECT_NEAR(est.state[c], x_true[c], 5e-3);
+  }
+  EXPECT_FALSE(detect_bad_data(model, all, z, 6.0).detected);
+}
+
+}  // namespace
+}  // namespace scada::powersys

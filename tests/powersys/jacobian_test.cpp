@@ -1,0 +1,72 @@
+#include "scada/powersys/jacobian.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+namespace {
+
+TEST(JacobianTest, FromRowsAndAccess) {
+  const auto j = JacobianMatrix::from_rows({{1.0, 0.0}, {0.0, -2.5}});
+  EXPECT_EQ(j.rows(), 2u);
+  EXPECT_EQ(j.cols(), 2u);
+  EXPECT_DOUBLE_EQ(j.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(j.at(1, 1), -2.5);
+}
+
+TEST(JacobianTest, RaggedRowsRejected) {
+  EXPECT_THROW((void)JacobianMatrix::from_rows({{1.0}, {1.0, 2.0}}), ConfigError);
+  EXPECT_THROW((void)JacobianMatrix::from_rows({}), ConfigError);
+}
+
+TEST(JacobianTest, OutOfRangeAccessThrows) {
+  JacobianMatrix j(2, 3);
+  EXPECT_THROW((void)j.at(2, 0), ConfigError);
+  EXPECT_THROW((void)j.at(0, 3), ConfigError);
+  EXPECT_THROW(j.set(2, 0, 1.0), ConfigError);
+}
+
+TEST(JacobianTest, AddAccumulates) {
+  JacobianMatrix j(1, 2);
+  j.add(0, 1, 5.0);
+  j.add(0, 1, -2.0);
+  EXPECT_DOUBLE_EQ(j.at(0, 1), 3.0);
+}
+
+TEST(JacobianTest, NonzeroColumnsIsStateSet) {
+  const auto j = JacobianMatrix::from_rows({{0.0, -5.05, 5.05, 0.0, 0.0}});
+  EXPECT_EQ(j.nonzero_columns(0), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(JacobianTest, TinyEntriesQuantizeToZero) {
+  const auto j = JacobianMatrix::from_rows({{1e-9, 2.0}});
+  EXPECT_EQ(j.nonzero_columns(0), (std::vector<std::size_t>{1}));
+}
+
+TEST(JacobianTest, RowSignatureSignNormalizes) {
+  // Forward and backward flows on the same line share a signature.
+  const auto j = JacobianMatrix::from_rows({
+      {0.0, 5.05, -5.05, 0.0},
+      {0.0, -5.05, 5.05, 0.0},
+      {0.0, 5.05, 0.0, -5.05},
+  });
+  EXPECT_EQ(j.row_signature(0), j.row_signature(1));
+  EXPECT_NE(j.row_signature(0), j.row_signature(2));
+}
+
+TEST(JacobianTest, SignatureDistinguishesMagnitudes) {
+  const auto j = JacobianMatrix::from_rows({
+      {5.05, -5.05},
+      {5.67, -5.67},
+  });
+  EXPECT_NE(j.row_signature(0), j.row_signature(1));
+}
+
+TEST(JacobianTest, ToStringRendersRows) {
+  const auto j = JacobianMatrix::from_rows({{1.5, -2.0}});
+  EXPECT_EQ(j.to_string(1), "1.5 -2.0\n");
+}
+
+}  // namespace
+}  // namespace scada::powersys

@@ -1,0 +1,109 @@
+#include "scada/powersys/measurement.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+namespace {
+
+/// Tiny 3-bus triangle: lines 1-2 (b=10), 2-3 (b=5), 1-3 (b=4).
+BusSystem triangle() {
+  return BusSystem("tri", 3, {{1, 2, 0.1}, {2, 3, 0.2}, {1, 3, 0.25}});
+}
+
+TEST(MeasurementTest, FlowRowsHaveOppositeSigns) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),
+                                      Measurement::flow_backward(0)});
+  EXPECT_DOUBLE_EQ(model.jacobian().at(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(model.jacobian().at(0, 1), -10.0);
+  EXPECT_DOUBLE_EQ(model.jacobian().at(1, 0), -10.0);
+  EXPECT_DOUBLE_EQ(model.jacobian().at(1, 1), 10.0);
+}
+
+TEST(MeasurementTest, InjectionRowSumsIncidentFlows) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::injection(1)});
+  // Bus 1 touches 1-2 (10) and 1-3 (4): diagonal 14, others -10 and -4.
+  EXPECT_DOUBLE_EQ(model.jacobian().at(0, 0), 14.0);
+  EXPECT_DOUBLE_EQ(model.jacobian().at(0, 1), -10.0);
+  EXPECT_DOUBLE_EQ(model.jacobian().at(0, 2), -4.0);
+}
+
+TEST(MeasurementTest, StateSetsMatchNonzeros) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(1),  // 2-3
+                                      Measurement::injection(2)});
+  EXPECT_EQ(model.state_set(0), (std::vector<std::size_t>{1, 2}));
+  EXPECT_EQ(model.state_set(1), (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(MeasurementTest, BothEndFlowsShareAGroup) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),
+                                      Measurement::flow_backward(0),
+                                      Measurement::flow_forward(1)});
+  EXPECT_EQ(model.num_groups(), 2u);
+  EXPECT_EQ(model.group_of(0), model.group_of(1));
+  EXPECT_NE(model.group_of(0), model.group_of(2));
+}
+
+TEST(MeasurementTest, InjectionsAreUniqueGroups) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(
+      grid, {Measurement::injection(1), Measurement::injection(2), Measurement::injection(3)});
+  EXPECT_EQ(model.num_groups(), 3u);
+}
+
+TEST(MeasurementTest, FullPlacementSize) {
+  const BusSystem grid = triangle();
+  const auto full = MeasurementModel::full_placement(grid);
+  EXPECT_EQ(full.size(), 2 * grid.num_branches() + 3);  // 2L + n
+}
+
+TEST(MeasurementTest, FullPlacementModelBuilds) {
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  EXPECT_EQ(model.num_measurements(), 2 * grid.num_branches() + 14);
+  EXPECT_EQ(model.num_states(), 14u);
+  // Every branch contributes one group for its two flows, every bus one for
+  // its injection — except bus 8, whose single incident line (7-8) makes its
+  // injection row identical (up to sign) to that line's flow rows.
+  EXPECT_EQ(model.num_groups(), grid.num_branches() + 14 - 1);
+}
+
+TEST(MeasurementTest, LeafBusInjectionJoinsItsLineFlowGroup) {
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, {Measurement::injection(8),
+                                      Measurement::flow_forward(13)});  // line 7-8
+  EXPECT_EQ(model.num_groups(), 1u);
+}
+
+TEST(MeasurementTest, ExplicitJacobianModel) {
+  const MeasurementModel model(JacobianMatrix::from_rows({{1.0, -1.0}, {0.0, 2.0}}));
+  EXPECT_EQ(model.num_measurements(), 2u);
+  EXPECT_EQ(model.num_states(), 2u);
+  EXPECT_TRUE(model.placement().empty());
+}
+
+TEST(MeasurementTest, Validation) {
+  const BusSystem grid = triangle();
+  EXPECT_THROW(MeasurementModel(grid, {}), ConfigError);
+  EXPECT_THROW(MeasurementModel(grid, {Measurement::flow_forward(99)}), ConfigError);
+  EXPECT_THROW(MeasurementModel(grid, {Measurement::injection(9)}), ConfigError);
+  EXPECT_THROW(MeasurementModel(grid, {Measurement{}}), ConfigError);  // Explicit w/o matrix
+}
+
+TEST(MeasurementTest, AllZeroRowRejected) {
+  EXPECT_THROW(MeasurementModel(JacobianMatrix::from_rows({{0.0, 0.0}})), ConfigError);
+}
+
+TEST(MeasurementTest, OutOfRangeQueriesThrow) {
+  const MeasurementModel model(JacobianMatrix::from_rows({{1.0}}));
+  EXPECT_THROW((void)model.state_set(1), ConfigError);
+  EXPECT_THROW((void)model.group_of(1), ConfigError);
+}
+
+}  // namespace
+}  // namespace scada::powersys

@@ -1,0 +1,187 @@
+#include "scada/powersys/observability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/util/error.hpp"
+#include "scada/util/rng.hpp"
+
+namespace scada::powersys {
+namespace {
+
+BusSystem triangle() {
+  return BusSystem("tri", 3, {{1, 2, 0.1}, {2, 3, 0.2}, {1, 3, 0.25}});
+}
+
+MeasurementModel triangle_full() {
+  const BusSystem grid = triangle();
+  return MeasurementModel(grid, MeasurementModel::full_placement(grid));
+}
+
+TEST(ObservabilityTest, FullDeliverySatisfiesBothCriteria) {
+  const auto model = triangle_full();
+  const std::vector<bool> all(model.num_measurements(), true);
+  EXPECT_TRUE(counting_observable(model, all));
+  EXPECT_TRUE(rank_observable(model, all));
+}
+
+TEST(ObservabilityTest, NothingDeliveredIsUnobservable) {
+  const auto model = triangle_full();
+  const std::vector<bool> none(model.num_measurements(), false);
+  const auto result = analyze_counting_observability(model, none);
+  EXPECT_FALSE(result.observable);
+  EXPECT_EQ(result.uncovered_states.size(), 3u);
+  EXPECT_EQ(result.delivered_unique, 0u);
+  EXPECT_FALSE(rank_observable(model, none));
+}
+
+TEST(ObservabilityTest, CoverageGapDetected) {
+  // Only the flow on line 1-2 delivered: bus 3 uncovered.
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),
+                                      Measurement::flow_backward(0),
+                                      Measurement::injection(1)});
+  const std::vector<bool> delivered{true, true, false};
+  const auto result = analyze_counting_observability(model, delivered);
+  EXPECT_FALSE(result.observable);
+  EXPECT_EQ(result.uncovered_states, (std::vector<std::size_t>{2}));
+}
+
+TEST(ObservabilityTest, UniqueCountShortfallDetected) {
+  // Both directions of one line + injection at 1: covers all three states
+  // but only two unique groups < three states. The rank test shows the
+  // counting criterion is *conservative* here: rank is already n-1.
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),
+                                      Measurement::flow_backward(0),
+                                      Measurement::injection(1)});
+  const std::vector<bool> delivered{true, true, true};
+  const auto result = analyze_counting_observability(model, delivered);
+  EXPECT_TRUE(result.uncovered_states.empty());
+  EXPECT_EQ(result.delivered_unique, 2u);
+  EXPECT_FALSE(result.observable);
+  EXPECT_TRUE(rank_observable(model, delivered));
+}
+
+TEST(ObservabilityTest, MinimalObservableSet) {
+  // Flows on 1-2 and 2-3 plus injection at bus 1: three unique groups,
+  // all states covered, rank n-1 (the DC maximum).
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),
+                                      Measurement::flow_forward(1),
+                                      Measurement::injection(1)});
+  const std::vector<bool> all(3, true);
+  EXPECT_TRUE(counting_observable(model, all));
+  EXPECT_TRUE(rank_observable(model, all));
+  EXPECT_EQ(delivered_rank(model, all), 2u);
+  EXPECT_EQ(observability_rank_target(model), 2u);
+}
+
+TEST(ObservabilityTest, DcRankNeverExceedsNMinusOne) {
+  // Every pure-DC row sums to zero, so the all-ones vector is in the null
+  // space: rank <= n-1 even with all measurements delivered.
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  const std::vector<bool> all(model.num_measurements(), true);
+  EXPECT_EQ(delivered_rank(model, all), 13u);
+  EXPECT_EQ(observability_rank_target(model), 13u);
+}
+
+TEST(ObservabilityTest, UncoveredStateImpliesRankDeficiency) {
+  // Theorem: an uncovered state column is all-zero in the delivered rows,
+  // adding e_c to the null space next to the all-ones vector, so the rank
+  // drops below n-1 and the rank test must also reject.
+  const BusSystem grid = BusSystem::ieee14();
+  const MeasurementModel model(grid, MeasurementModel::full_placement(grid));
+  util::Rng rng(42);
+  int exercised = 0;
+  for (int round = 0; round < 60; ++round) {
+    std::vector<bool> delivered(model.num_measurements());
+    for (std::size_t z = 0; z < delivered.size(); ++z) delivered[z] = rng.chance(0.15);
+    const auto counting = analyze_counting_observability(model, delivered);
+    if (!counting.uncovered_states.empty()) {
+      ++exercised;
+      EXPECT_FALSE(rank_observable(model, delivered)) << "round " << round;
+    }
+  }
+  EXPECT_GT(exercised, 5);
+}
+
+TEST(ObservabilityTest, CountingCanBeOptimisticOnExplicitMatrices) {
+  // Explicit Jacobian of full rank 3; the delivered subset {0,1,2} covers
+  // all states with 3 distinct groups (counting accepts) but is linearly
+  // dependent (rank rejects).
+  const MeasurementModel model(JacobianMatrix::from_rows({
+      {1.0, -1.0, 0.0},
+      {0.0, 1.0, -1.0},
+      {1.0, 0.0, -1.0},  // = row0 + row1
+      {1.0, 1.0, 1.0},   // gives the full set rank 3
+  }));
+  EXPECT_EQ(observability_rank_target(model), 3u);
+  const std::vector<bool> delivered{true, true, true, false};
+  EXPECT_TRUE(counting_observable(model, delivered));
+  EXPECT_FALSE(rank_observable(model, delivered));
+}
+
+TEST(ObservabilityTest, RankOfSubset) {
+  const auto model = triangle_full();
+  std::vector<bool> one(model.num_measurements(), false);
+  one[0] = true;
+  EXPECT_EQ(delivered_rank(model, one), 1u);
+}
+
+TEST(ObservabilityTest, SizeMismatchThrows) {
+  const auto model = triangle_full();
+  EXPECT_THROW((void)counting_observable(model, {true}), ConfigError);
+  EXPECT_THROW((void)delivered_rank(model, {true}), ConfigError);
+}
+
+
+TEST(ObservabilityTest, TopologicalFlowObservabilityBasics) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),   // 1-2
+                                      Measurement::flow_forward(1),   // 2-3
+                                      Measurement::flow_forward(2)}); // 1-3
+  // Two branches already span the triangle.
+  EXPECT_TRUE(topological_flow_observable(grid, model, {true, true, false}));
+  // One branch leaves a bus disconnected.
+  EXPECT_FALSE(topological_flow_observable(grid, model, {true, false, false}));
+  EXPECT_FALSE(topological_flow_observable(grid, model, {false, false, false}));
+}
+
+TEST(ObservabilityTest, TopologicalEqualsRankOnFlowOnlySets) {
+  // Theorem: for flow-only measurement sets, graph connectivity of the
+  // measured branches is exactly rank observability (rank of incidence rows
+  // = n - #components). Checked on random subsets of IEEE-14 flows.
+  const BusSystem grid = BusSystem::ieee14();
+  std::vector<Measurement> flows;
+  for (std::size_t b = 0; b < grid.num_branches(); ++b) {
+    flows.push_back(Measurement::flow_forward(b));
+  }
+  const MeasurementModel model(grid, flows);
+  util::Rng rng(77);
+  for (int round = 0; round < 60; ++round) {
+    std::vector<bool> delivered(model.num_measurements());
+    for (std::size_t z = 0; z < delivered.size(); ++z) delivered[z] = rng.chance(0.7);
+    EXPECT_EQ(topological_flow_observable(grid, model, delivered),
+              rank_observable(model, delivered))
+        << "round " << round;
+  }
+}
+
+TEST(ObservabilityTest, TopologicalRejectsNonFlowDeliveries) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(grid, {Measurement::flow_forward(0),
+                                      Measurement::injection(1)});
+  EXPECT_THROW((void)topological_flow_observable(grid, model, {true, true}), ConfigError);
+  // Non-delivered injections are fine: only delivered rows must be flows.
+  EXPECT_NO_THROW((void)topological_flow_observable(grid, model, {true, false}));
+}
+
+TEST(ObservabilityTest, TopologicalRequiresPlacementModel) {
+  const BusSystem grid = triangle();
+  const MeasurementModel model(JacobianMatrix::from_rows({{1.0, -1.0, 0.0}}));
+  EXPECT_THROW((void)topological_flow_observable(grid, model, {true}), ConfigError);
+}
+
+}  // namespace
+}  // namespace scada::powersys

@@ -1,0 +1,105 @@
+#include "scada/powersys/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "scada/util/error.hpp"
+
+namespace scada::powersys {
+namespace {
+
+TEST(RationalTest, DefaultIsZero) {
+  Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(RationalTest, NormalizesOnConstruction) {
+  const Rational r(6, -8);
+  EXPECT_EQ(r.num(), -3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(RationalTest, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), ScadaError);
+}
+
+TEST(RationalTest, FromDecimalExact) {
+  const Rational r = Rational::from_decimal(-5.05);
+  EXPECT_EQ(r, Rational(-101, 20));
+  EXPECT_EQ(Rational::from_decimal(23.75), Rational(95, 4));
+  EXPECT_EQ(Rational::from_decimal(0.0), Rational(0));
+}
+
+TEST(RationalTest, FromDecimalRejectsNonFinite) {
+  EXPECT_THROW((void)Rational::from_decimal(std::numeric_limits<double>::infinity()),
+               ScadaError);
+  EXPECT_THROW((void)Rational::from_decimal(std::numeric_limits<double>::quiet_NaN()),
+               ScadaError);
+}
+
+TEST(RationalTest, Arithmetic) {
+  const Rational a(1, 2), b(1, 3);
+  EXPECT_EQ(a + b, Rational(5, 6));
+  EXPECT_EQ(a - b, Rational(1, 6));
+  EXPECT_EQ(a * b, Rational(1, 6));
+  EXPECT_EQ(a / b, Rational(3, 2));
+  EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(RationalTest, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(Rational(1, 2) / Rational(0)), ScadaError);
+}
+
+TEST(RationalTest, Comparison) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_LT(Rational(-1, 2), Rational(0));
+  EXPECT_FALSE(Rational(2, 4) < Rational(1, 2));
+}
+
+TEST(RationalTest, CompoundAssignment) {
+  Rational r(1, 4);
+  r += Rational(1, 4);
+  EXPECT_EQ(r, Rational(1, 2));
+  r *= Rational(4);
+  EXPECT_EQ(r, Rational(2));
+  r -= Rational(1, 2);
+  EXPECT_EQ(r, Rational(3, 2));
+  r /= Rational(3);
+  EXPECT_EQ(r, Rational(1, 2));
+}
+
+TEST(RationalTest, ToString) {
+  EXPECT_EQ(Rational(3, 4).to_string(), "3/4");
+  EXPECT_EQ(Rational(5).to_string(), "5");
+  EXPECT_EQ(Rational(-1, 2).to_string(), "-1/2");
+}
+
+TEST(RationalTest, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+}
+
+TEST(RationalTest, IntermediateOverflowHandled) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow despite huge cross products.
+  const Rational big(1LL << 40, 3);
+  const Rational inv(3, 1LL << 40);
+  EXPECT_EQ(big * inv, Rational(1));
+}
+
+TEST(RationalTest, OverflowAfterNormalizationThrows) {
+  const Rational big(std::numeric_limits<std::int64_t>::max(), 1);
+  EXPECT_THROW((void)(big * big), ScadaError);
+}
+
+TEST(RationalTest, SmallGridValuesRoundTrip) {
+  // The case-study susceptances must be exactly representable.
+  for (const double v : {16.9, 4.48, 5.05, 5.67, 5.75, 5.85, 23.75, 41.85, 37.95, 33.37}) {
+    const Rational r = Rational::from_decimal(v);
+    EXPECT_DOUBLE_EQ(r.to_double(), v);
+  }
+}
+
+}  // namespace
+}  // namespace scada::powersys

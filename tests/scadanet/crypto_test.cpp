@@ -1,0 +1,77 @@
+#include "scada/scadanet/crypto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scada::scadanet {
+namespace {
+
+TEST(CryptoRulesTest, EmptyRegistryQualifiesNothing) {
+  const CryptoRuleRegistry rules;
+  EXPECT_FALSE(rules.qualifies({"hmac", 512}, CryptoProperty::Authentication));
+}
+
+TEST(CryptoRulesTest, PaperDefaultsAuthentication) {
+  const auto rules = CryptoRuleRegistry::paper_defaults();
+  EXPECT_TRUE(rules.qualifies({"hmac", 128}, CryptoProperty::Authentication));
+  EXPECT_FALSE(rules.qualifies({"hmac", 64}, CryptoProperty::Authentication));
+  EXPECT_TRUE(rules.qualifies({"chap", 64}, CryptoProperty::Authentication));
+  EXPECT_TRUE(rules.qualifies({"rsa", 2048}, CryptoProperty::Authentication));
+  EXPECT_FALSE(rules.qualifies({"rsa", 1024}, CryptoProperty::Authentication));
+}
+
+TEST(CryptoRulesTest, PaperDefaultsIntegrity) {
+  const auto rules = CryptoRuleRegistry::paper_defaults();
+  EXPECT_TRUE(rules.qualifies({"sha2", 128}, CryptoProperty::Integrity));
+  EXPECT_TRUE(rules.qualifies({"sha256", 256}, CryptoProperty::Integrity));
+  EXPECT_TRUE(rules.qualifies({"aes", 256}, CryptoProperty::Integrity));
+  // hmac alone confers authentication but not integrity in the paper's
+  // scenario 2 (the IED1-RTU9 weakness).
+  EXPECT_FALSE(rules.qualifies({"hmac", 128}, CryptoProperty::Integrity));
+  EXPECT_FALSE(rules.qualifies({"chap", 64}, CryptoProperty::Integrity));
+}
+
+TEST(CryptoRulesTest, DesNeverQualifies) {
+  const auto rules = CryptoRuleRegistry::paper_defaults();
+  for (const auto p : {CryptoProperty::Authentication, CryptoProperty::Integrity,
+                       CryptoProperty::Encryption}) {
+    EXPECT_FALSE(rules.qualifies({"des", 56}, p));
+    EXPECT_FALSE(rules.qualifies({"des", 256}, p));
+  }
+}
+
+TEST(CryptoRulesTest, CaseInsensitiveAlgorithms) {
+  const auto rules = CryptoRuleRegistry::paper_defaults();
+  EXPECT_TRUE(rules.qualifies({"HMAC", 128}, CryptoProperty::Authentication));
+  EXPECT_TRUE(rules.qualifies({"Sha2", 256}, CryptoProperty::Integrity));
+}
+
+TEST(CryptoRulesTest, AllowAddsRule) {
+  CryptoRuleRegistry rules;
+  rules.allow(CryptoProperty::Integrity, "blake3", 256);
+  EXPECT_TRUE(rules.qualifies({"blake3", 256}, CryptoProperty::Integrity));
+  EXPECT_FALSE(rules.qualifies({"blake3", 128}, CryptoProperty::Integrity));
+  EXPECT_FALSE(rules.qualifies({"blake3", 256}, CryptoProperty::Authentication));
+}
+
+TEST(CryptoRulesTest, RevokeRemovesRule) {
+  auto rules = CryptoRuleRegistry::paper_defaults();
+  rules.revoke(CryptoProperty::Integrity, "sha2");
+  EXPECT_FALSE(rules.qualifies({"sha2", 256}, CryptoProperty::Integrity));
+  // Other properties untouched.
+  EXPECT_TRUE(rules.qualifies({"hmac", 128}, CryptoProperty::Authentication));
+}
+
+TEST(CryptoRulesTest, MinKeyBitsLookup) {
+  const auto rules = CryptoRuleRegistry::paper_defaults();
+  EXPECT_EQ(rules.min_key_bits(CryptoProperty::Authentication, "rsa"), 2048);
+  EXPECT_FALSE(rules.min_key_bits(CryptoProperty::Authentication, "des").has_value());
+}
+
+TEST(CryptoRulesTest, PropertyNames) {
+  EXPECT_STREQ(to_string(CryptoProperty::Authentication), "authentication");
+  EXPECT_STREQ(to_string(CryptoProperty::Integrity), "integrity");
+  EXPECT_STREQ(to_string(CryptoProperty::Encryption), "encryption");
+}
+
+}  // namespace
+}  // namespace scada::scadanet

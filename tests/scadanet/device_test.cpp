@@ -1,0 +1,66 @@
+#include "scada/scadanet/device.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scada::scadanet {
+namespace {
+
+TEST(DeviceTest, FieldDeviceClassification) {
+  const Device ied{.id = 1, .type = DeviceType::Ied};
+  const Device rtu{.id = 2, .type = DeviceType::Rtu};
+  const Device mtu{.id = 3, .type = DeviceType::Mtu};
+  const Device router{.id = 4, .type = DeviceType::Router};
+  EXPECT_TRUE(ied.is_field_device());
+  EXPECT_TRUE(rtu.is_field_device());
+  EXPECT_FALSE(mtu.is_field_device());
+  EXPECT_FALSE(router.is_field_device());
+}
+
+TEST(DeviceTest, DefaultProtocolIsDnp3) {
+  const Device d{.id = 1, .type = DeviceType::Ied};
+  EXPECT_TRUE(d.supports_protocol(CommProtocol::Dnp3));
+  EXPECT_FALSE(d.supports_protocol(CommProtocol::Modbus));
+}
+
+TEST(DeviceTest, ProtocolPairingRequiresSharedProtocol) {
+  Device a{.id = 1, .type = DeviceType::Ied, .protocols = {CommProtocol::Modbus}};
+  Device b{.id = 2, .type = DeviceType::Rtu, .protocols = {CommProtocol::Dnp3}};
+  EXPECT_FALSE(comm_proto_pairing(a, b));
+  b.protocols.push_back(CommProtocol::Modbus);
+  EXPECT_TRUE(comm_proto_pairing(a, b));
+}
+
+TEST(DeviceTest, RoutersPairWithAnything) {
+  const Device router{.id = 9, .type = DeviceType::Router, .protocols = {}};
+  const Device ied{.id = 1, .type = DeviceType::Ied, .protocols = {CommProtocol::Iec61850}};
+  EXPECT_TRUE(comm_proto_pairing(router, ied));
+  EXPECT_TRUE(comm_proto_pairing(ied, router));
+}
+
+TEST(DeviceTest, MultiProtocolDevicesPairOnAnyShared) {
+  const Device a{.id = 1,
+                 .type = DeviceType::Ied,
+                 .protocols = {CommProtocol::Modbus, CommProtocol::Iec61850}};
+  const Device b{.id = 2,
+                 .type = DeviceType::Rtu,
+                 .protocols = {CommProtocol::Dnp3, CommProtocol::Iec61850}};
+  EXPECT_TRUE(comm_proto_pairing(a, b));
+}
+
+TEST(DeviceTest, ToStringNames) {
+  EXPECT_STREQ(to_string(DeviceType::Ied), "IED");
+  EXPECT_STREQ(to_string(DeviceType::Rtu), "RTU");
+  EXPECT_STREQ(to_string(DeviceType::Mtu), "MTU");
+  EXPECT_STREQ(to_string(DeviceType::Router), "Router");
+  EXPECT_STREQ(to_string(CommProtocol::Dnp3), "dnp3");
+}
+
+TEST(DeviceTest, CryptoSuiteEqualityAndPrinting) {
+  const CryptoSuite a{"hmac", 128};
+  EXPECT_EQ(a, (CryptoSuite{"hmac", 128}));
+  EXPECT_NE(a, (CryptoSuite{"hmac", 256}));
+  EXPECT_EQ(a.to_string(), "hmac-128");
+}
+
+}  // namespace
+}  // namespace scada::scadanet

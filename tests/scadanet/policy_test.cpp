@@ -1,0 +1,109 @@
+#include "scada/scadanet/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scada::scadanet {
+namespace {
+
+TEST(PolicyTest, PairSuitesAreOrderInsensitive) {
+  SecurityPolicy policy;
+  policy.set_pair_suites(2, 9, {{"chap", 64}});
+  ASSERT_NE(policy.pair_suites(9, 2), nullptr);
+  EXPECT_EQ(policy.pair_suites(9, 2)->size(), 1u);
+  EXPECT_EQ(policy.pair_suites(2, 9), policy.pair_suites(9, 2));
+  EXPECT_EQ(policy.pair_suites(1, 2), nullptr);
+}
+
+TEST(PolicyTest, SetReplacesExistingProfile) {
+  SecurityPolicy policy;
+  policy.set_pair_suites(1, 2, {{"hmac", 128}});
+  policy.set_pair_suites(2, 1, {{"rsa", 2048}});
+  ASSERT_EQ(policy.pair_suites(1, 2)->size(), 1u);
+  EXPECT_EQ(policy.pair_suites(1, 2)->front().algorithm, "rsa");
+}
+
+TEST(PolicyTest, CryptoPairingSemantics) {
+  SecurityPolicy policy;
+  policy.set_pair_suites(1, 2, {{"hmac", 128}});
+  const Device plain_a{.id = 3, .type = DeviceType::Ied, .suites = {}};
+  const Device plain_b{.id = 4, .type = DeviceType::Rtu, .suites = {}};
+  const Device secured_a{.id = 1, .type = DeviceType::Ied, .suites = {{"hmac", 128}}};
+  const Device secured_b{.id = 2, .type = DeviceType::Rtu, .suites = {{"hmac", 128}}};
+
+  // Profile exists: pairing OK.
+  EXPECT_TRUE(policy.crypto_pairing(secured_a, secured_b));
+  // No profile, neither expects crypto: plain-text pairing OK.
+  EXPECT_TRUE(policy.crypto_pairing(plain_a, plain_b));
+  // No profile but one side expects crypto: handshake fails.
+  EXPECT_FALSE(policy.crypto_pairing(secured_a, plain_b));
+}
+
+TEST(PolicyTest, AuthenticatedAndIntegrityPredicates) {
+  const auto rules = CryptoRuleRegistry::paper_defaults();
+  SecurityPolicy policy;
+  policy.set_pair_suites(1, 9, {{"hmac", 128}});                 // auth only
+  policy.set_pair_suites(2, 9, {{"chap", 64}, {"sha2", 128}});   // auth + integrity
+  policy.set_pair_suites(9, 13, {{"rsa", 2048}, {"aes", 256}});  // auth + integrity
+  policy.set_pair_suites(3, 9, {{"des", 56}});                   // nothing
+
+  EXPECT_TRUE(policy.authenticated(1, 9, rules));
+  EXPECT_FALSE(policy.integrity_protected(1, 9, rules));
+  EXPECT_FALSE(policy.secured_hop(1, 9, rules));
+
+  EXPECT_TRUE(policy.authenticated(2, 9, rules));
+  EXPECT_TRUE(policy.integrity_protected(2, 9, rules));
+  EXPECT_TRUE(policy.secured_hop(2, 9, rules));
+
+  EXPECT_TRUE(policy.secured_hop(9, 13, rules));
+
+  EXPECT_FALSE(policy.authenticated(3, 9, rules));
+  EXPECT_FALSE(policy.secured_hop(3, 9, rules));
+
+  // Unknown pair: nothing holds.
+  EXPECT_FALSE(policy.authenticated(7, 8, rules));
+}
+
+TEST(PolicyTest, AllProfilesSortedByPair) {
+  SecurityPolicy policy;
+  policy.set_pair_suites(9, 13, {{"rsa", 2048}});
+  policy.set_pair_suites(1, 9, {{"hmac", 128}});
+  const auto all = policy.all_profiles();
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, (std::pair{1, 9}));
+  EXPECT_EQ(all[1].first, (std::pair{9, 13}));
+}
+
+TEST(PolicyTest, FromDeviceSuitesIntersects) {
+  std::vector<Device> devices = {
+      {.id = 1, .type = DeviceType::Ied, .suites = {{"hmac", 128}, {"sha2", 256}}},
+      {.id = 2, .type = DeviceType::Rtu, .suites = {{"sha2", 256}, {"aes", 128}}},
+      {.id = 3, .type = DeviceType::Mtu, .suites = {{"aes", 128}}},
+  };
+  std::vector<Link> links = {{1, 1, 2}, {2, 2, 3}};
+  const ScadaTopology topology(std::move(devices), std::move(links));
+  const SecurityPolicy policy = SecurityPolicy::from_device_suites(topology);
+
+  ASSERT_NE(policy.pair_suites(1, 2), nullptr);
+  EXPECT_EQ(*policy.pair_suites(1, 2), (std::vector<CryptoSuite>{{"sha2", 256}}));
+  ASSERT_NE(policy.pair_suites(2, 3), nullptr);
+  EXPECT_EQ(*policy.pair_suites(2, 3), (std::vector<CryptoSuite>{{"aes", 128}}));
+  // No shared suite or no direct logical hop: no profile.
+  EXPECT_EQ(policy.pair_suites(1, 3), nullptr);
+}
+
+TEST(PolicyTest, FromDeviceSuitesCollapsesRouters) {
+  std::vector<Device> devices = {
+      {.id = 1, .type = DeviceType::Rtu, .suites = {{"rsa", 2048}}},
+      {.id = 2, .type = DeviceType::Router},
+      {.id = 3, .type = DeviceType::Mtu, .suites = {{"rsa", 2048}}},
+  };
+  std::vector<Link> links = {{1, 1, 2}, {2, 2, 3}};
+  const ScadaTopology topology(std::move(devices), std::move(links));
+  const SecurityPolicy policy = SecurityPolicy::from_device_suites(topology);
+  // RTU1 and MTU3 communicate through the router: profile on (1,3).
+  ASSERT_NE(policy.pair_suites(1, 3), nullptr);
+  EXPECT_EQ(*policy.pair_suites(1, 3), (std::vector<CryptoSuite>{{"rsa", 2048}}));
+}
+
+}  // namespace
+}  // namespace scada::scadanet

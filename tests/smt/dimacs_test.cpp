@@ -1,0 +1,65 @@
+#include "scada/smt/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/smt/cdcl.hpp"
+#include "scada/util/error.hpp"
+
+namespace scada::smt {
+namespace {
+
+TEST(DimacsTest, ParsesSimpleInstance) {
+  const auto inst = read_dimacs_string("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(inst.num_vars, 3);
+  ASSERT_EQ(inst.clauses.size(), 2u);
+  EXPECT_EQ(inst.clauses[0], (Clause{pos(1), neg(2)}));
+  EXPECT_EQ(inst.clauses[1], (Clause{pos(2), pos(3)}));
+}
+
+TEST(DimacsTest, MultipleClausesPerLine) {
+  const auto inst = read_dimacs_string("p cnf 2 2\n1 0 -2 0\n");
+  EXPECT_EQ(inst.clauses.size(), 2u);
+}
+
+TEST(DimacsTest, RoundTrip) {
+  DimacsInstance inst;
+  inst.num_vars = 4;
+  inst.clauses = {{pos(1), neg(3)}, {neg(2), pos(4), pos(1)}, {}};
+  const auto parsed = read_dimacs_string(write_dimacs_string(inst));
+  EXPECT_EQ(parsed.num_vars, inst.num_vars);
+  EXPECT_EQ(parsed.clauses, inst.clauses);
+}
+
+TEST(DimacsTest, RejectsMissingHeader) {
+  EXPECT_THROW((void)read_dimacs_string("1 2 0\n"), ParseError);
+  EXPECT_THROW((void)read_dimacs_string(""), ParseError);
+}
+
+TEST(DimacsTest, RejectsMalformedHeader) {
+  EXPECT_THROW((void)read_dimacs_string("p dnf 2 1\n1 0\n"), ParseError);
+  EXPECT_THROW((void)read_dimacs_string("p cnf x 1\n1 0\n"), ParseError);
+}
+
+TEST(DimacsTest, RejectsClauseCountMismatch) {
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 2\n1 0\n"), ParseError);
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 1\n1 0\n2 0\n"), ParseError);
+}
+
+TEST(DimacsTest, RejectsUnterminatedClause) {
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 1\n1 2\n"), ParseError);
+}
+
+TEST(DimacsTest, RejectsOutOfRangeLiteral) {
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 1\n3 0\n"), ParseError);
+}
+
+TEST(DimacsTest, ParsedInstanceSolvable) {
+  const auto inst = read_dimacs_string("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n");
+  CdclSolver solver;
+  solver.ensure_var(inst.num_vars);
+  for (const auto& c : inst.clauses) solver.add_clause(c);
+  EXPECT_EQ(solver.solve(), SolveResult::Sat);
+}
+
+}  // namespace
+}  // namespace scada::smt

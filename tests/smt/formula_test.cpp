@@ -1,0 +1,135 @@
+#include "scada/smt/formula.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/util/error.hpp"
+
+namespace scada::smt {
+namespace {
+
+class FormulaTest : public ::testing::Test {
+ protected:
+  FormulaBuilder fb;
+  Formula a = fb.mk_var("a");
+  Formula b = fb.mk_var("b");
+  Formula c = fb.mk_var("c");
+};
+
+TEST_F(FormulaTest, ConstantsAreFixedHandles) {
+  EXPECT_EQ(fb.mk_false().id, 0);
+  EXPECT_EQ(fb.mk_true().id, 1);
+  EXPECT_EQ(fb.mk_bool(true), fb.mk_true());
+  EXPECT_EQ(fb.mk_bool(false), fb.mk_false());
+}
+
+TEST_F(FormulaTest, HashConsingSharesStructure) {
+  const Formula f1 = fb.mk_and({a, b});
+  const Formula f2 = fb.mk_and({b, a});
+  EXPECT_EQ(f1, f2);  // operand order is canonicalized
+}
+
+TEST_F(FormulaTest, DoubleNegationCancels) {
+  EXPECT_EQ(fb.mk_not(fb.mk_not(a)), a);
+}
+
+TEST_F(FormulaTest, NegatedConstantsFold) {
+  EXPECT_EQ(fb.mk_not(fb.mk_true()), fb.mk_false());
+  EXPECT_EQ(fb.mk_not(fb.mk_false()), fb.mk_true());
+}
+
+TEST_F(FormulaTest, AndSimplifications) {
+  EXPECT_EQ(fb.mk_and({a, fb.mk_true()}), a);
+  EXPECT_EQ(fb.mk_and({a, fb.mk_false()}), fb.mk_false());
+  EXPECT_EQ(fb.mk_and({a, a}), a);
+  EXPECT_EQ(fb.mk_and({a, fb.mk_not(a)}), fb.mk_false());
+  EXPECT_EQ(fb.mk_and({}), fb.mk_true());
+}
+
+TEST_F(FormulaTest, OrSimplifications) {
+  EXPECT_EQ(fb.mk_or({a, fb.mk_false()}), a);
+  EXPECT_EQ(fb.mk_or({a, fb.mk_true()}), fb.mk_true());
+  EXPECT_EQ(fb.mk_or({a, a}), a);
+  EXPECT_EQ(fb.mk_or({a, fb.mk_not(a)}), fb.mk_true());
+  EXPECT_EQ(fb.mk_or({}), fb.mk_false());
+}
+
+TEST_F(FormulaTest, NestedSameKindFlattens) {
+  const Formula nested = fb.mk_and({fb.mk_and({a, b}), c});
+  const Formula flat = fb.mk_and({a, b, c});
+  EXPECT_EQ(nested, flat);
+  EXPECT_EQ(fb.node(flat).operands.size(), 3u);
+}
+
+TEST_F(FormulaTest, ImpliesDesugarsToOr) {
+  const Formula f = fb.mk_implies(a, b);
+  EXPECT_EQ(f, fb.mk_or({fb.mk_not(a), b}));
+}
+
+TEST_F(FormulaTest, IffOfEqualIsTrue) {
+  EXPECT_EQ(fb.mk_iff(a, a), fb.mk_true());
+}
+
+TEST_F(FormulaTest, AtMostTrivialBounds) {
+  EXPECT_EQ(fb.mk_at_most({a, b}, 2), fb.mk_true());
+  EXPECT_EQ(fb.mk_at_most({a, b}, 5), fb.mk_true());
+  // at-most-0 forces all operands false
+  EXPECT_EQ(fb.mk_at_most({a, b}, 0), fb.mk_and({fb.mk_not(a), fb.mk_not(b)}));
+}
+
+TEST_F(FormulaTest, AtLeastTrivialBounds) {
+  EXPECT_EQ(fb.mk_at_least({a, b}, 0), fb.mk_true());
+  EXPECT_EQ(fb.mk_at_least({a, b}, 3), fb.mk_false());
+  EXPECT_EQ(fb.mk_at_least({a, b}, 2), fb.mk_and({a, b}));
+  EXPECT_EQ(fb.mk_at_least({a, b}, 1), fb.mk_or({a, b}));
+}
+
+TEST_F(FormulaTest, CardinalityConstantOperandsAdjustBound) {
+  // true + (a,b) <= 2  ==  (a,b) <= 1
+  const Formula f = fb.mk_at_most({fb.mk_true(), a, b}, 2);
+  EXPECT_EQ(f, fb.mk_at_most({a, b}, 1));
+  // false operands vanish
+  EXPECT_EQ(fb.mk_at_most({fb.mk_false(), a, b, c}, 1), fb.mk_at_most({a, b, c}, 1));
+  // at_least with a true operand lowers the requirement
+  EXPECT_EQ(fb.mk_at_least({fb.mk_true(), a, b}, 2), fb.mk_at_least({a, b}, 1));
+}
+
+TEST_F(FormulaTest, AtMostOverConstantsOnly) {
+  EXPECT_EQ(fb.mk_at_most({fb.mk_true(), fb.mk_true()}, 1), fb.mk_false());
+  EXPECT_EQ(fb.mk_at_most({fb.mk_true()}, 1), fb.mk_true());
+}
+
+TEST_F(FormulaTest, ExactlyIsConjunctionOfBounds) {
+  const Formula f = fb.mk_exactly({a, b, c}, 1);
+  EXPECT_EQ(f, fb.mk_and({fb.mk_at_most({a, b, c}, 1), fb.mk_at_least({a, b, c}, 1)}));
+}
+
+TEST_F(FormulaTest, VarRoundTrip) {
+  const Var va = fb.var_of(a);
+  EXPECT_EQ(fb.var_formula(va), a);
+  EXPECT_EQ(fb.var_name(va), "a");
+}
+
+TEST_F(FormulaTest, VarOfNonLeafThrows) {
+  EXPECT_THROW((void)fb.var_of(fb.mk_and({a, b})), ConfigError);
+  EXPECT_THROW((void)fb.var_formula(999), ConfigError);
+}
+
+TEST_F(FormulaTest, ToStringReadable) {
+  EXPECT_EQ(fb.to_string(fb.mk_and({a, b})), "(a & b)");
+  EXPECT_EQ(fb.to_string(fb.mk_not(a)), "!a");
+  EXPECT_EQ(fb.to_string(fb.mk_true()), "true");
+}
+
+TEST_F(FormulaTest, InvalidHandleThrows) {
+  EXPECT_THROW((void)fb.node(Formula{}), ConfigError);
+  EXPECT_THROW((void)fb.node(Formula{1 << 30}), ConfigError);
+}
+
+TEST_F(FormulaTest, AutoNamedVariables) {
+  FormulaBuilder fresh;
+  const Formula v = fresh.mk_var("");
+  EXPECT_EQ(fresh.var_name(fresh.var_of(v)), "v1");
+}
+
+}  // namespace
+}  // namespace scada::smt

@@ -1,0 +1,72 @@
+// Shared helpers for the SMT test suites: brute-force oracles and a random
+// formula generator used by property tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "scada/smt/cnf.hpp"
+#include "scada/smt/formula.hpp"
+#include "scada/smt/types.hpp"
+#include "scada/util/rng.hpp"
+
+namespace scada::smt::testing {
+
+/// Exhaustively counts satisfying assignments of `f` over all builder
+/// variables 1..builder.num_vars(). Only usable for small variable counts.
+inline std::uint64_t brute_force_count(const FormulaBuilder& builder, Formula f) {
+  const int n = builder.num_vars();
+  std::uint64_t count = 0;
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    const auto value_of = [&](Var v) { return ((mask >> (v - 1)) & 1) != 0; };
+    if (evaluate_formula(builder, f, value_of)) ++count;
+  }
+  return count;
+}
+
+/// True iff `f` has at least one satisfying assignment (brute force).
+inline bool brute_force_sat(const FormulaBuilder& builder, Formula f) {
+  const int n = builder.num_vars();
+  for (std::uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    const auto value_of = [&](Var v) { return ((mask >> (v - 1)) & 1) != 0; };
+    if (evaluate_formula(builder, f, value_of)) return true;
+  }
+  return false;
+}
+
+/// Generates a random formula over the builder's existing variables.
+/// Mixes And/Or/Not and cardinality atoms; `budget` bounds the node count.
+inline Formula random_formula(FormulaBuilder& builder, util::Rng& rng, int depth,
+                              const std::vector<Formula>& vars) {
+  if (depth <= 0 || rng.chance(0.3)) {
+    Formula leaf = vars[rng.index(vars.size())];
+    return rng.chance(0.4) ? builder.mk_not(leaf) : leaf;
+  }
+  const auto pick_children = [&](std::size_t lo, std::size_t hi) {
+    std::vector<Formula> children;
+    const std::size_t n = lo + rng.index(hi - lo + 1);
+    children.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      children.push_back(random_formula(builder, rng, depth - 1, vars));
+    }
+    return children;
+  };
+  switch (rng.index(5)) {
+    case 0: return builder.mk_and(pick_children(2, 4));
+    case 1: return builder.mk_or(pick_children(2, 4));
+    case 2: return builder.mk_not(random_formula(builder, rng, depth - 1, vars));
+    case 3: {
+      const auto children = pick_children(2, 5);
+      return builder.mk_at_most(children,
+                                static_cast<std::uint32_t>(rng.index(children.size() + 1)));
+    }
+    default: {
+      const auto children = pick_children(2, 5);
+      return builder.mk_at_least(children,
+                                 static_cast<std::uint32_t>(rng.index(children.size() + 1)));
+    }
+  }
+}
+
+}  // namespace scada::smt::testing

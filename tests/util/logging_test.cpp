@@ -1,0 +1,44 @@
+#include "scada/util/logging.hpp"
+
+#include <gtest/gtest.h>
+
+namespace scada::util {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_log_level(LogLevel::Warn); }  // restore default
+};
+
+TEST_F(LoggingTest, LevelRoundTrip) {
+  set_log_level(LogLevel::Debug);
+  EXPECT_EQ(log_level(), LogLevel::Debug);
+  set_log_level(LogLevel::Off);
+  EXPECT_EQ(log_level(), LogLevel::Off);
+}
+
+TEST_F(LoggingTest, DefaultThresholdIsWarn) {
+  EXPECT_EQ(log_level(), LogLevel::Warn);
+}
+
+TEST_F(LoggingTest, StreamMacroCompilesAndRespectsThreshold) {
+  // Capture stderr to verify filtering.
+  set_log_level(LogLevel::Error);
+  ::testing::internal::CaptureStderr();
+  SCADA_LOG(Warn) << "should be suppressed " << 42;
+  SCADA_LOG(Error) << "should appear " << 7;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(err.find("suppressed"), std::string::npos);
+  EXPECT_NE(err.find("should appear 7"), std::string::npos);
+  EXPECT_NE(err.find("[scada:ERROR]"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  set_log_level(LogLevel::Off);
+  ::testing::internal::CaptureStderr();
+  SCADA_LOG(Error) << "nothing";
+  EXPECT_TRUE(::testing::internal::GetCapturedStderr().empty());
+}
+
+}  // namespace
+}  // namespace scada::util

@@ -1,0 +1,72 @@
+#include "scada/util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/util/error.hpp"
+
+namespace scada::util {
+namespace {
+
+TEST(StringsTest, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringsTest, SplitOnWhitespace) {
+  EXPECT_EQ(split("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("  a\tb "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(StringsTest, SplitOnCustomDelims) {
+  EXPECT_EQ(split("a,b;c", ",;"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(",,a,,", ","), (std::vector<std::string>{"a"}));
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({"x"}, ","), "x");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(StringsTest, ToLower) {
+  EXPECT_EQ(to_lower("HMAC-Sha256"), "hmac-sha256");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(StringsTest, ParseLongValid) {
+  EXPECT_EQ(parse_long("42"), 42);
+  EXPECT_EQ(parse_long(" -17 "), -17);
+  EXPECT_EQ(parse_long("0"), 0);
+}
+
+TEST(StringsTest, ParseLongInvalidThrows) {
+  EXPECT_THROW((void)parse_long("x"), ParseError);
+  EXPECT_THROW((void)parse_long("12x"), ParseError);
+  EXPECT_THROW((void)parse_long(""), ParseError);
+  EXPECT_THROW((void)parse_long("1.5"), ParseError);
+}
+
+TEST(StringsTest, ParseDoubleValid) {
+  EXPECT_DOUBLE_EQ(parse_double("-5.05"), -5.05);
+  EXPECT_DOUBLE_EQ(parse_double(" 23.75 "), 23.75);
+  EXPECT_DOUBLE_EQ(parse_double("0"), 0.0);
+}
+
+TEST(StringsTest, ParseDoubleInvalidThrows) {
+  EXPECT_THROW((void)parse_double("abc"), ParseError);
+  EXPECT_THROW((void)parse_double("1.5z"), ParseError);
+  EXPECT_THROW((void)parse_double(""), ParseError);
+}
+
+TEST(StringsTest, StartsWith) {
+  EXPECT_TRUE(starts_with("# comment", "#"));
+  EXPECT_FALSE(starts_with("", "#"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+}  // namespace
+}  // namespace scada::util

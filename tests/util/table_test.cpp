@@ -1,0 +1,50 @@
+#include "scada/util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "scada/util/error.hpp"
+
+namespace scada::util {
+namespace {
+
+TEST(TableTest, AlignsColumns) {
+  TextTable t({"bus", "time"});
+  t.add_row({"14", "0.5"});
+  t.add_row({"118", "12.25"});
+  const std::string text = t.to_text();
+  EXPECT_NE(text.find("bus | "), std::string::npos);
+  EXPECT_NE(text.find(" 14 |"), std::string::npos);
+  EXPECT_NE(text.find("118 |"), std::string::npos);
+}
+
+TEST(TableTest, RejectsRowWithWrongArity) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(TableTest, RejectsEmptyHeader) {
+  EXPECT_THROW(TextTable(std::vector<std::string>{}), ConfigError);
+}
+
+TEST(TableTest, CsvQuoting) {
+  TextTable t({"name", "value"});
+  t.add_row({"with,comma", "with\"quote"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(TableTest, CsvPlainCellsUnquoted) {
+  TextTable t({"a"});
+  t.add_row({"plain"});
+  EXPECT_EQ(t.to_csv(), "a\nplain\n");
+}
+
+TEST(TableTest, FmtDouble) {
+  EXPECT_EQ(fmt_double(0.01349, 3), "0.013");
+  EXPECT_EQ(fmt_double(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_double(-1.25, 2), "-1.25");
+}
+
+}  // namespace
+}  // namespace scada::util

@@ -1,0 +1,62 @@
+// Standalone DIMACS front end for the built-in CDCL SAT solver — handy for
+// poking at the engine that backs the analyzer's native mode, and for
+// cross-checking it against external solvers on standard .cnf files.
+//
+//   $ ./sat_solve problem.cnf
+//   s SATISFIABLE
+//   v 1 -2 3 ... 0
+//
+// Exit codes follow the SAT-competition convention: 10 sat, 20 unsat,
+// 0 unknown, 1 usage/parse error.
+#include <cstdio>
+#include <fstream>
+
+#include "scada/smt/cdcl.hpp"
+#include "scada/smt/dimacs.hpp"
+#include "scada/util/error.hpp"
+#include "scada/util/timer.hpp"
+
+int main(int argc, char** argv) {
+  using namespace scada::smt;
+
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <dimacs.cnf>\n", argv[0]);
+    return 1;
+  }
+  try {
+    std::ifstream in(argv[1]);
+    if (!in) throw scada::ParseError(std::string("cannot open ") + argv[1]);
+    const DimacsInstance instance = read_dimacs(in);
+
+    CdclSolver solver;
+    solver.ensure_var(instance.num_vars);
+    for (const Clause& clause : instance.clauses) solver.add_clause(clause);
+
+    scada::util::WallTimer timer;
+    const SolveResult result = solver.solve();
+    std::printf("c vars=%d clauses=%zu time=%.3fs conflicts=%llu decisions=%llu\n",
+                instance.num_vars, instance.clauses.size(), timer.seconds(),
+                static_cast<unsigned long long>(solver.stats().conflicts),
+                static_cast<unsigned long long>(solver.stats().decisions));
+    switch (result) {
+      case SolveResult::Sat: {
+        std::printf("s SATISFIABLE\nv");
+        for (Var v = 1; v <= instance.num_vars; ++v) {
+          std::printf(" %d", solver.model_value(v) ? v : -v);
+        }
+        std::printf(" 0\n");
+        return 10;
+      }
+      case SolveResult::Unsat:
+        std::printf("s UNSATISFIABLE\n");
+        return 20;
+      case SolveResult::Unknown:
+        std::printf("s UNKNOWN\n");
+        return 0;
+    }
+  } catch (const scada::ScadaError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
