@@ -1,0 +1,165 @@
+// Serial vs parallel analysis engine (google-benchmark): the three
+// parallelized searches — portfolio max-resiliency, cube-split threat
+// enumeration, sharded brute force — measured against their serial
+// counterparts on synthetic fleets. The "speedup" counter reports
+// serial_time / parallel_time for the same workload; on a single-core host
+// it hovers near (or below) 1.0, the parallel paths then only certify the
+// determinism contract.
+#include <benchmark/benchmark.h>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/core/brute_force.hpp"
+#include "scada/core/case_study.hpp"
+#include "scada/core/parallel_analyzer.hpp"
+#include "scada/synth/generator.hpp"
+#include "scada/util/timer.hpp"
+
+namespace {
+
+using namespace scada;
+
+core::ScadaScenario synthetic(int buses) {
+  synth::SynthConfig config;
+  config.buses = buses;
+  config.hierarchy_level = 2;
+  config.measurement_fraction = 0.75;
+  config.seed = 11;
+  return synth::generate_scenario(config);
+}
+
+/// Runs the serial workload once per iteration and stores its mean wall time
+/// in the "serial_s" counter so the parallel benches can report speedup.
+void BM_SerialEnumerate(benchmark::State& state) {
+  const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
+  core::ScadaAnalyzer analyzer(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyzer.enumerate_threats(core::Property::SecuredObservability,
+                                                        core::ResiliencySpec::total(2)));
+  }
+}
+BENCHMARK(BM_SerialEnumerate)->Arg(14)->Arg(30)->ArgName("buses")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ParallelEnumerate(benchmark::State& state) {
+  const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
+  core::ScadaAnalyzer serial(scenario);
+  core::ParallelOptions options;
+  options.threads = static_cast<std::size_t>(state.range(1));
+  core::ParallelAnalyzer parallel(scenario, options);
+
+  // One serial reference run for the speedup counter.
+  util::WallTimer serial_timer;
+  const auto reference = serial.enumerate_threats(core::Property::SecuredObservability,
+                                                  core::ResiliencySpec::total(2));
+  const double serial_seconds = serial_timer.seconds();
+
+  double parallel_seconds = 0.0;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    util::WallTimer timer;
+    benchmark::DoNotOptimize(parallel.enumerate_threats(core::Property::SecuredObservability,
+                                                        core::ResiliencySpec::total(2)));
+    parallel_seconds += timer.seconds();
+    ++iterations;
+  }
+  state.counters["threads"] = static_cast<double>(parallel.threads());
+  state.counters["vectors"] = static_cast<double>(reference.size());
+  if (parallel_seconds > 0.0) {
+    state.counters["speedup"] =
+        serial_seconds / (parallel_seconds / static_cast<double>(iterations));
+  }
+}
+BENCHMARK(BM_ParallelEnumerate)
+    ->ArgsProduct({{14, 30}, {0, 2, 4}})  // threads=0: hardware concurrency
+    ->ArgNames({"buses", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SerialMaxResiliency(benchmark::State& state) {
+  const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
+  core::ScadaAnalyzer analyzer(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        analyzer.max_resiliency(core::Property::Observability, core::FailureClass::Combined));
+  }
+}
+BENCHMARK(BM_SerialMaxResiliency)->Arg(14)->Arg(30)->ArgName("buses")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PortfolioMaxResiliency(benchmark::State& state) {
+  const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
+  core::ScadaAnalyzer serial(scenario);
+  core::ParallelOptions options;
+  options.threads = static_cast<std::size_t>(state.range(1));
+  core::ParallelAnalyzer parallel(scenario, options);
+
+  util::WallTimer serial_timer;
+  const auto reference =
+      serial.max_resiliency(core::Property::Observability, core::FailureClass::Combined);
+  const double serial_seconds = serial_timer.seconds();
+
+  double parallel_seconds = 0.0;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    util::WallTimer timer;
+    benchmark::DoNotOptimize(
+        parallel.max_resiliency(core::Property::Observability, core::FailureClass::Combined));
+    parallel_seconds += timer.seconds();
+    ++iterations;
+  }
+  state.counters["max_k"] = static_cast<double>(reference.max_k);
+  if (parallel_seconds > 0.0) {
+    state.counters["speedup"] =
+        serial_seconds / (parallel_seconds / static_cast<double>(iterations));
+  }
+}
+BENCHMARK(BM_PortfolioMaxResiliency)
+    ->ArgsProduct({{14, 30}, {0, 4}})
+    ->ArgNames({"buses", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SerialBruteForce(benchmark::State& state) {
+  const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
+  core::BruteForceVerifier brute(scenario);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute.enumerate_threats(core::Property::Observability,
+                                                     core::ResiliencySpec::total(2)));
+  }
+}
+BENCHMARK(BM_SerialBruteForce)->Arg(14)->Arg(30)->ArgName("buses")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShardedBruteForce(benchmark::State& state) {
+  const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
+  core::BruteForceVerifier serial(scenario);
+  core::ParallelOptions options;
+  options.threads = static_cast<std::size_t>(state.range(1));
+  core::ParallelAnalyzer parallel(scenario, options);
+
+  util::WallTimer serial_timer;
+  const auto reference =
+      serial.enumerate_threats(core::Property::Observability, core::ResiliencySpec::total(2));
+  const double serial_seconds = serial_timer.seconds();
+
+  double parallel_seconds = 0.0;
+  std::int64_t iterations = 0;
+  for (auto _ : state) {
+    util::WallTimer timer;
+    benchmark::DoNotOptimize(parallel.brute_force_enumerate(core::Property::Observability,
+                                                            core::ResiliencySpec::total(2)));
+    parallel_seconds += timer.seconds();
+    ++iterations;
+  }
+  state.counters["vectors"] = static_cast<double>(reference.size());
+  if (parallel_seconds > 0.0) {
+    state.counters["speedup"] =
+        serial_seconds / (parallel_seconds / static_cast<double>(iterations));
+  }
+}
+BENCHMARK(BM_ShardedBruteForce)
+    ->ArgsProduct({{14, 30}, {0, 4}})
+    ->ArgNames({"buses", "threads"})
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

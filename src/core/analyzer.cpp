@@ -42,17 +42,17 @@ std::string VerificationResult::to_string() const {
 ScadaAnalyzer::ScadaAnalyzer(const ScadaScenario& scenario, AnalyzerOptions options)
     : scenario_(scenario), options_(std::move(options)), oracle_(scenario, options_.encoder) {}
 
-ThreatVector ScadaAnalyzer::extract_threat(const ThreatEncoder& encoder,
-                                           const smt::Session& session) const {
+ThreatVector extract_threat_vector(const ThreatEncoder& encoder, const smt::Session& session) {
+  const ScadaScenario& scenario = encoder.scenario();
   ThreatVector v;
-  for (const int id : scenario_.ied_ids()) {
+  for (const int id : scenario.ied_ids()) {
     if (!session.value(encoder.node_var(id))) v.failed_ieds.push_back(id);
   }
-  for (const int id : scenario_.rtu_ids()) {
+  for (const int id : scenario.rtu_ids()) {
     if (!session.value(encoder.node_var(id))) v.failed_rtus.push_back(id);
   }
-  if (options_.encoder.links_can_fail) {
-    for (const auto& link : scenario_.topology().links()) {
+  if (encoder.options().links_can_fail) {
+    for (const auto& link : scenario.topology().links()) {
       if (link.up && !session.value(encoder.link_var(link.id))) {
         v.failed_links.push_back(link.id);
       }
@@ -61,12 +61,17 @@ ThreatVector ScadaAnalyzer::extract_threat(const ThreatEncoder& encoder,
   return v;
 }
 
-ThreatVector ScadaAnalyzer::minimize(Property property, const ResiliencySpec& spec,
-                                     ThreatVector threat) const {
+ThreatVector ScadaAnalyzer::extract_threat(const ThreatEncoder& encoder,
+                                           const smt::Session& session) const {
+  return extract_threat_vector(encoder, session);
+}
+
+ThreatVector minimize_threat(const ScenarioOracle& oracle, Property property,
+                             const ResiliencySpec& spec, ThreatVector threat) {
   // Greedy shrink against the oracle: drop any failure whose removal still
   // violates the property. The result is a minimal (irreducible) vector.
   const auto still_threat = [&](const ThreatVector& v) {
-    return !oracle_.holds(property, v.to_contingency(), spec.r);
+    return !oracle.holds(property, v.to_contingency(), spec.r);
   };
   if (!still_threat(threat)) {
     // The solver said Sat, so the model must violate the property; if the
@@ -93,6 +98,11 @@ ThreatVector ScadaAnalyzer::minimize(Property property, const ResiliencySpec& sp
   std::vector<int> links = threat.failed_links;
   shrink(links, &ThreatVector::failed_links);
   return threat;
+}
+
+ThreatVector ScadaAnalyzer::minimize(Property property, const ResiliencySpec& spec,
+                                     ThreatVector threat) const {
+  return minimize_threat(oracle_, property, spec, std::move(threat));
 }
 
 VerificationResult ScadaAnalyzer::verify(Property property, const ResiliencySpec& spec) {

@@ -62,6 +62,18 @@ struct AnalyzerOptions {
   bool minimize_threats = true;
 };
 
+/// Reads the failure assignment of the last Sat model out of a session as a
+/// ThreatVector (id lists ascending). Shared by the serial analyzer and the
+/// per-worker enumeration loops of the parallel engine.
+[[nodiscard]] ThreatVector extract_threat_vector(const ThreatEncoder& encoder,
+                                                 const smt::Session& session);
+
+/// Greedy irreducible shrink against the direct oracle: drop any failure
+/// whose removal still violates the property. Throws ScadaError if the
+/// oracle rejects the input vector (an SMT/oracle divergence — a bug).
+[[nodiscard]] ThreatVector minimize_threat(const ScenarioOracle& oracle, Property property,
+                                           const ResiliencySpec& spec, ThreatVector threat);
+
 class ScadaAnalyzer {
  public:
   /// The scenario must outlive the analyzer.

@@ -1,0 +1,353 @@
+#include "scada/core/parallel_analyzer.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <limits>
+#include <utility>
+
+#include "scada/util/combinatorics.hpp"
+#include "scada/util/error.hpp"
+#include "scada/util/timer.hpp"
+
+namespace scada::core {
+
+using smt::SolveResult;
+
+namespace {
+
+/// (kind, id) sequence of a threat vector — strictly increasing in the
+/// brute-force pool order, so lexicographic comparison of sequences equals
+/// lexicographic comparison of pool-index subsets.
+std::vector<std::pair<int, int>> typed_sequence(const ThreatVector& v) {
+  std::vector<std::pair<int, int>> s;
+  s.reserve(v.size());
+  for (const int id : v.failed_ieds) s.emplace_back(0, id);
+  for (const int id : v.failed_rtus) s.emplace_back(1, id);
+  for (const int id : v.failed_links) s.emplace_back(2, id);
+  return s;
+}
+
+}  // namespace
+
+bool ParallelAnalyzer::threat_vector_less(const ThreatVector& a, const ThreatVector& b) {
+  if (a.size() != b.size()) return a.size() < b.size();
+  return typed_sequence(a) < typed_sequence(b);
+}
+
+ParallelAnalyzer::ParallelAnalyzer(const ScadaScenario& scenario, ParallelOptions options)
+    : scenario_(scenario),
+      options_(std::move(options)),
+      oracle_(scenario, options_.analyzer.encoder),
+      brute_(scenario, options_.analyzer.encoder),
+      pool_(options_.threads) {}
+
+// --- portfolio max-resiliency -------------------------------------------
+
+MaxResiliencyResult ParallelAnalyzer::max_resiliency(Property property,
+                                                     FailureClass failure_class, int spec_r) {
+  const int limit = [&] {
+    switch (failure_class) {
+      case FailureClass::IedOnly: return static_cast<int>(scenario_.ied_ids().size());
+      case FailureClass::RtuOnly: return static_cast<int>(scenario_.rtu_ids().size());
+      case FailureClass::Combined:
+        return static_cast<int>(scenario_.ied_ids().size() + scenario_.rtu_ids().size());
+    }
+    return 0;
+  }();
+  const auto spec_for = [&](int k) {
+    switch (failure_class) {
+      case FailureClass::IedOnly: return ResiliencySpec::per_type(k, 0, spec_r);
+      case FailureClass::RtuOnly: return ResiliencySpec::per_type(0, k, spec_r);
+      case FailureClass::Combined: return ResiliencySpec::total(k, spec_r);
+    }
+    throw ConfigError("unknown failure class");
+  };
+
+  // One probe per budget; Sat is monotone in k (a model within budget k fits
+  // budget k+1), so the smallest Sat budget decides the answer and every
+  // larger probe becomes moot the moment any Sat lands. first_sat only ever
+  // decreases; cancelled probes are exactly the moot ones (token j is only
+  // cancelled when some k < j returned Sat).
+  const int n_probes = limit + 1;
+  std::atomic<int> first_sat{n_probes};
+  std::vector<util::CancellationToken> tokens(static_cast<std::size_t>(n_probes));
+
+  const auto probe = [&](int k) -> SolveResult {
+    if (k >= first_sat.load(std::memory_order_relaxed)) return SolveResult::Unknown;  // moot
+    smt::FormulaBuilder builder;
+    ThreatEncoder encoder(scenario_, options_.analyzer.encoder, builder);
+    smt::Session session(builder, options_.analyzer.solver);
+    session.set_interrupt(tokens[static_cast<std::size_t>(k)].flag());
+    session.assert_formula(encoder.threat(property, spec_for(k)));
+    const SolveResult r = session.solve();
+    if (r == SolveResult::Sat) {
+      int cur = first_sat.load(std::memory_order_relaxed);
+      while (k < cur && !first_sat.compare_exchange_weak(cur, k)) {
+      }
+      for (int j = k + 1; j < n_probes; ++j) tokens[static_cast<std::size_t>(j)].cancel();
+    }
+    return r;
+  };
+
+  std::vector<std::future<SolveResult>> futures;
+  futures.reserve(static_cast<std::size_t>(n_probes));
+  for (int k = 0; k < n_probes; ++k) {
+    futures.push_back(pool_.submit([&probe, k] { return probe(k); }));
+  }
+  std::vector<SolveResult> results;
+  results.reserve(futures.size());
+  for (auto& f : futures) results.push_back(f.get());
+
+  const int sat_k = first_sat.load();
+  for (int k = 0; k < std::min(sat_k, n_probes); ++k) {
+    // Probes below the winning budget are never cancelled, so Unknown here
+    // is a genuine solver failure — same contract as the serial search.
+    if (results[static_cast<std::size_t>(k)] != SolveResult::Unsat) {
+      throw SolverError("parallel max_resiliency: solver returned " +
+                        std::string(smt::to_string(results[static_cast<std::size_t>(k)])) +
+                        " at k=" + std::to_string(k));
+    }
+  }
+
+  MaxResiliencyResult out;
+  if (sat_k == n_probes) {
+    out.max_k = limit;
+    out.probes = n_probes;  // serial search would probe every budget
+  } else {
+    out.max_k = sat_k - 1;
+    out.probes = sat_k + 1;  // serial search stops at the first Sat budget
+  }
+  return out;
+}
+
+// --- cube-split threat enumeration --------------------------------------
+
+std::size_t ParallelAnalyzer::auto_cube_bits() const {
+  const std::size_t field_devices = scenario_.ied_ids().size() + scenario_.rtu_ids().size();
+  if (field_devices == 0) return 0;
+  std::size_t bits = 1;
+  while ((std::size_t{1} << bits) < 2 * pool_.size() && bits < 6) ++bits;
+  return std::min(bits, field_devices);
+}
+
+std::vector<int> ParallelAnalyzer::cube_devices(std::size_t bits) const {
+  std::vector<std::pair<int, int>> degree_of;  // (device id, link degree)
+  for (const int id : scenario_.ied_ids()) degree_of.emplace_back(id, 0);
+  for (const int id : scenario_.rtu_ids()) degree_of.emplace_back(id, 0);
+  for (auto& [id, degree] : degree_of) {
+    for (const auto& link : scenario_.topology().links()) {
+      if (link.a == id || link.b == id) ++degree;
+    }
+  }
+  std::sort(degree_of.begin(), degree_of.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::vector<int> out;
+  for (std::size_t i = 0; i < bits && i < degree_of.size(); ++i) {
+    out.push_back(degree_of[i].first);
+  }
+  return out;
+}
+
+std::vector<ThreatVector> ParallelAnalyzer::enumerate_threats(Property property,
+                                                              const ResiliencySpec& spec,
+                                                              std::size_t max_vectors,
+                                                              bool minimal_only) {
+  const std::size_t bits =
+      options_.cube_bits != 0
+          ? std::min(options_.cube_bits, scenario_.ied_ids().size() + scenario_.rtu_ids().size())
+          : auto_cube_bits();
+  const std::vector<int> devices = cube_devices(bits);
+  const std::size_t n_cubes = std::size_t{1} << devices.size();
+
+  // Each worker enumerates one cube: the threat formula plus a fixed
+  // polarity for every cube device. Every model satisfies exactly one cube,
+  // so the cubes partition the model space; blocking clauses stay local to
+  // the worker's session. Minimized vectors may leave the cube (the oracle
+  // shrink is global), which only means two workers can surface the same
+  // minimal vector — the merge deduplicates.
+  const auto enumerate_cube = [&](std::size_t cube) {
+    smt::FormulaBuilder builder;
+    ThreatEncoder encoder(scenario_, options_.analyzer.encoder, builder);
+    smt::Session session(builder, options_.analyzer.solver);
+    session.assert_formula(encoder.threat(property, spec));
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+      const smt::Formula node = encoder.node_var(devices[i]);
+      // Bit set — the device is failed in this cube (Node_i false).
+      session.assert_formula((cube >> i) & 1u ? builder.mk_not(node) : node);
+    }
+
+    std::vector<ThreatVector> local;
+    while (local.size() < max_vectors && session.solve() == SolveResult::Sat) {
+      ThreatVector v = extract_threat_vector(encoder, session);
+      if (minimal_only) {
+        v = minimize_threat(oracle_, property, spec, v);
+        // Block v and all its supersets: at least one member must survive.
+        std::vector<smt::Formula> block;
+        for (const int id : v.failed_ieds) block.push_back(encoder.node_var(id));
+        for (const int id : v.failed_rtus) block.push_back(encoder.node_var(id));
+        for (const int id : v.failed_links) block.push_back(encoder.link_var(id));
+        session.assert_formula(builder.mk_or(block));
+      } else {
+        // Block exactly this failure assignment.
+        std::vector<smt::Formula> diff;
+        const Contingency c = v.to_contingency();
+        for (const int id : scenario_.ied_ids()) {
+          const smt::Formula node = encoder.node_var(id);
+          diff.push_back(c.device_up(id) ? builder.mk_not(node) : node);
+        }
+        for (const int id : scenario_.rtu_ids()) {
+          const smt::Formula node = encoder.node_var(id);
+          diff.push_back(c.device_up(id) ? builder.mk_not(node) : node);
+        }
+        if (options_.analyzer.encoder.links_can_fail) {
+          for (const auto& link : scenario_.topology().links()) {
+            if (!link.up) continue;
+            const smt::Formula lv = encoder.link_var(link.id);
+            diff.push_back(c.link_up(link.id) ? builder.mk_not(lv) : lv);
+          }
+        }
+        session.assert_formula(builder.mk_or(diff));
+      }
+      local.push_back(std::move(v));
+    }
+    return local;
+  };
+
+  std::vector<std::future<std::vector<ThreatVector>>> futures;
+  futures.reserve(n_cubes);
+  for (std::size_t cube = 0; cube < n_cubes; ++cube) {
+    futures.push_back(pool_.submit([&enumerate_cube, cube] { return enumerate_cube(cube); }));
+  }
+
+  std::vector<ThreatVector> merged;
+  for (auto& f : futures) {
+    std::vector<ThreatVector> part = f.get();
+    merged.insert(merged.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+  }
+  std::sort(merged.begin(), merged.end(), threat_vector_less);
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  if (merged.size() > max_vectors) merged.resize(max_vectors);
+  return merged;
+}
+
+// --- sharded brute force -------------------------------------------------
+
+VerificationResult ParallelAnalyzer::brute_force_verify(Property property,
+                                                        const ResiliencySpec& spec) {
+  util::WallTimer timer;
+  VerificationResult out;
+  out.result = SolveResult::Unsat;
+
+  const std::vector<BruteForceVerifier::Candidate> pool = brute_.candidate_pool(spec);
+  const std::size_t n = pool.size();
+  const std::size_t max_size = brute_.max_subset_size(spec, n);
+  constexpr std::uint64_t kNoHit = std::numeric_limits<std::uint64_t>::max();
+
+  for (std::size_t k = 0; k <= max_size; ++k) {
+    const std::uint64_t total = util::n_choose_k(n, k);
+    if (total == kNoHit) {
+      throw ConfigError("parallel brute force: subset space exceeds 2^64");
+    }
+    const std::uint64_t n_shards =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(total, pool_.size() * 4));
+
+    // Size classes are searched in order (a hit at size k preempts every
+    // k' > k, like the serial verifier), and within one size the winner is
+    // the lexicographically smallest hit — best_rank lets later shards stop
+    // early without affecting which subset wins.
+    std::atomic<std::uint64_t> best_rank{kNoHit};
+    const auto scan_shard = [&](std::uint64_t begin,
+                                std::uint64_t end) -> std::pair<std::uint64_t, ThreatVector> {
+      util::KSubsetIterator it(n, k, begin);
+      for (std::uint64_t rank = begin; rank < end && it.valid(); ++rank, it.advance()) {
+        if (rank >= best_rank.load(std::memory_order_relaxed)) break;
+        ThreatVector v = BruteForceVerifier::subset_to_vector(it.subset(), pool);
+        if (!brute_.within_budget(v, spec)) continue;
+        if (brute_.violates(property, v, spec.r)) {
+          std::uint64_t cur = best_rank.load(std::memory_order_relaxed);
+          while (rank < cur && !best_rank.compare_exchange_weak(cur, rank)) {
+          }
+          return {rank, std::move(v)};
+        }
+      }
+      return {kNoHit, ThreatVector{}};
+    };
+
+    std::vector<std::future<std::pair<std::uint64_t, ThreatVector>>> futures;
+    futures.reserve(static_cast<std::size_t>(n_shards));
+    for (std::uint64_t s = 0; s < n_shards; ++s) {
+      const std::uint64_t begin = total * s / n_shards;
+      const std::uint64_t end = total * (s + 1) / n_shards;
+      futures.push_back(pool_.submit([&scan_shard, begin, end] { return scan_shard(begin, end); }));
+    }
+
+    std::uint64_t winner_rank = kNoHit;
+    ThreatVector winner;
+    for (auto& f : futures) {
+      auto [rank, v] = f.get();
+      if (rank < winner_rank) {
+        winner_rank = rank;
+        winner = std::move(v);
+      }
+    }
+    if (winner_rank != kNoHit) {
+      out.result = SolveResult::Sat;
+      out.threat = std::move(winner);
+      break;
+    }
+  }
+
+  out.solve_seconds = timer.seconds();
+  return out;
+}
+
+std::vector<ThreatVector> ParallelAnalyzer::brute_force_enumerate(Property property,
+                                                                  const ResiliencySpec& spec) {
+  const std::vector<BruteForceVerifier::Candidate> pool = brute_.candidate_pool(spec);
+  const std::size_t n = pool.size();
+  const std::size_t max_size = brute_.max_subset_size(spec, n);
+  constexpr std::uint64_t kSaturated = std::numeric_limits<std::uint64_t>::max();
+
+  std::vector<ThreatVector> threats;
+  for (std::size_t k = 0; k <= max_size; ++k) {
+    const std::uint64_t total = util::n_choose_k(n, k);
+    if (total == kSaturated) {
+      throw ConfigError("parallel brute force: subset space exceeds 2^64");
+    }
+    const std::uint64_t n_shards =
+        std::max<std::uint64_t>(1, std::min<std::uint64_t>(total, pool_.size() * 4));
+
+    // Minimality is decided per subset via the oracle (is_minimal_threat),
+    // not against previously-found threats, so shards are order-independent;
+    // concatenating them in rank order reproduces the serial output exactly.
+    const auto scan_shard = [&](std::uint64_t begin, std::uint64_t end) {
+      std::vector<ThreatVector> local;
+      util::KSubsetIterator it(n, k, begin);
+      for (std::uint64_t rank = begin; rank < end && it.valid(); ++rank, it.advance()) {
+        ThreatVector v = BruteForceVerifier::subset_to_vector(it.subset(), pool);
+        if (!brute_.within_budget(v, spec)) continue;
+        if (brute_.is_minimal_threat(property, v, spec.r)) local.push_back(std::move(v));
+      }
+      return local;
+    };
+
+    std::vector<std::future<std::vector<ThreatVector>>> futures;
+    futures.reserve(static_cast<std::size_t>(n_shards));
+    for (std::uint64_t s = 0; s < n_shards; ++s) {
+      const std::uint64_t begin = total * s / n_shards;
+      const std::uint64_t end = total * (s + 1) / n_shards;
+      futures.push_back(pool_.submit([&scan_shard, begin, end] { return scan_shard(begin, end); }));
+    }
+    for (auto& f : futures) {
+      std::vector<ThreatVector> part = f.get();
+      threats.insert(threats.end(), std::make_move_iterator(part.begin()),
+                     std::make_move_iterator(part.end()));
+    }
+  }
+  return threats;
+}
+
+}  // namespace scada::core

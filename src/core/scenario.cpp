@@ -1,5 +1,7 @@
 #include "scada/core/scenario.hpp"
 
+#include <algorithm>
+
 #include "scada/util/error.hpp"
 
 namespace scada::core {
@@ -32,8 +34,14 @@ ScadaScenario::ScadaScenario(scadanet::ScadaTopology topology, scadanet::Securit
       ied_of_measurement_[z] = ied;
     }
   }
+  // The ascending-id contract of ied_ids()/rtu_ids() is enforced here rather
+  // than inherited from ids_of(): BruteForceVerifier binary-searches these
+  // vectors and device classification would silently misfile IEDs as RTUs if
+  // a topology source ever produced unsorted ids (e.g. a shuffled case file).
   ied_ids_ = topology_.ids_of(scadanet::DeviceType::Ied);
   rtu_ids_ = topology_.ids_of(scadanet::DeviceType::Rtu);
+  std::sort(ied_ids_.begin(), ied_ids_.end());
+  std::sort(rtu_ids_.begin(), rtu_ids_.end());
 }
 
 int ScadaScenario::ied_of_measurement(std::size_t z) const {

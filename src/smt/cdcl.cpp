@@ -79,11 +79,24 @@ bool CdclSolver::add_clause(std::span<const Lit> lits_in) {
     return !unsat_;
   }
 
-  const auto cref = static_cast<ClauseRef>(clauses_.size());
-  clauses_.push_back(InternalClause{std::move(normalized), 0.0, false, false});
+  const ClauseRef cref = alloc_clause(std::move(normalized), false);
   ++num_problem_clauses_;
   attach_clause(cref);
   return true;
+}
+
+CdclSolver::ClauseRef CdclSolver::alloc_clause(std::vector<Lit> lits, bool learned) {
+  if (!free_slots_.empty()) {
+    // Reuse a slot vacated by reduce_learned_db; all watchers of the old
+    // clause were purged there, so nothing still references the ref.
+    const ClauseRef cref = free_slots_.back();
+    free_slots_.pop_back();
+    clauses_[cref] = InternalClause{std::move(lits), 0.0, learned, false};
+    return cref;
+  }
+  const auto cref = static_cast<ClauseRef>(clauses_.size());
+  clauses_.push_back(InternalClause{std::move(lits), 0.0, learned, false});
+  return cref;
 }
 
 void CdclSolver::enqueue(Lit l, ClauseRef reason) {
@@ -314,7 +327,8 @@ void CdclSolver::reduce_learned_db() {
     return clauses_[a].activity < clauses_[b].activity;
   });
   const std::size_t target = learned_refs_.size() / 2;
-  std::size_t removed = 0;
+  std::vector<ClauseRef> newly_removed;
+  newly_removed.reserve(target);
   std::vector<ClauseRef> kept;
   kept.reserve(learned_refs_.size());
   for (const ClauseRef r : learned_refs_) {
@@ -325,11 +339,11 @@ void CdclSolver::reduce_learned_db() {
       const auto v = static_cast<std::size_t>(first.var());
       return assign_[v] != LBool::Undef && reason_[v] == r;
     }();
-    if (removed < target && c.lits.size() > 2 && !is_reason) {
+    if (newly_removed.size() < target && c.lits.size() > 2 && !is_reason) {
       c.removed = true;
       c.lits.clear();
       c.lits.shrink_to_fit();
-      ++removed;
+      newly_removed.push_back(r);
       ++stats_.removed_clauses;
     } else {
       kept.push_back(r);
@@ -337,10 +351,14 @@ void CdclSolver::reduce_learned_db() {
   }
   learned_refs_ = std::move(kept);
   // Watcher lists still contain stale entries; propagate() skips them lazily,
-  // and we purge them here to keep the lists tight.
+  // and we purge them here to keep the lists tight. Once purged, nothing
+  // references a removed ref, so its arena slot joins the free list and is
+  // reused by later clauses (alloc_clause) — the arena stays bounded by the
+  // peak live clause count instead of growing with every reduction.
   for (auto& ws : watches_) {
     std::erase_if(ws, [this](const Watcher& w) { return clauses_[w.cref].removed; });
   }
+  free_slots_.insert(free_slots_.end(), newly_removed.begin(), newly_removed.end());
 }
 
 std::uint32_t CdclSolver::luby(std::uint32_t i) noexcept {
@@ -363,6 +381,7 @@ std::uint32_t CdclSolver::luby(std::uint32_t i) noexcept {
 
 SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
   if (unsat_) return SolveResult::Unsat;
+  if (interrupted()) return SolveResult::Unknown;
   for (const Lit a : assumptions) ensure_var(a.var());
   cancel_until(0);
   if (propagate() != kNoReason) {
@@ -393,8 +412,7 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
       if (learned.size() == 1) {
         enqueue(learned[0], kNoReason);
       } else {
-        const auto cref = static_cast<ClauseRef>(clauses_.size());
-        clauses_.push_back(InternalClause{learned, 0.0, true, false});
+        const ClauseRef cref = alloc_clause(learned, true);
         learned_refs_.push_back(cref);
         ++stats_.learned_clauses;
         attach_clause(cref);
@@ -408,11 +426,21 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
         cancel_until(0);
         return SolveResult::Unknown;
       }
+      if (interrupted()) {
+        cancel_until(0);
+        return SolveResult::Unknown;
+      }
       if (conflicts_until_restart > 0) --conflicts_until_restart;
       continue;
     }
 
     // No conflict.
+    if (interrupted()) {
+      // Losing portfolio workers land here between conflicts; the solver
+      // stays reusable (a later solve() restarts from level 0).
+      cancel_until(0);
+      return SolveResult::Unknown;
+    }
     if (conflicts_until_restart == 0 && decision_level() > assumptions.size()) {
       ++stats_.restarts;
       conflicts_until_restart =

@@ -15,6 +15,7 @@
 // shares no code with it.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -70,8 +71,20 @@ class CdclSolver {
   /// Model access; only meaningful after solve() returned Sat.
   [[nodiscard]] bool model_value(Var v) const;
 
+  /// Cooperative interruption: while `flag` (owned by the caller, which must
+  /// keep it alive) reads true, solve() aborts at the next conflict/decision
+  /// boundary and returns Unknown. Solver state stays consistent — solve()
+  /// may be called again after the flag clears. Thread-safe: the flag may be
+  /// flipped from any thread (the parallel engine's first-SAT-wins
+  /// cancellation). Pass nullptr to detach.
+  void set_interrupt(const std::atomic<bool>* flag) noexcept { interrupt_ = flag; }
+
   [[nodiscard]] const CdclStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t num_clauses() const noexcept { return num_problem_clauses_; }
+  /// Size of the clause arena including learned and free-listed slots; stays
+  /// bounded across reductions because removed slots are reused.
+  [[nodiscard]] std::size_t arena_clauses() const noexcept { return clauses_.size(); }
+  [[nodiscard]] std::size_t free_clause_slots() const noexcept { return free_slots_.size(); }
 
  private:
   using ClauseRef = std::uint32_t;
@@ -131,6 +144,11 @@ class CdclSolver {
   }
 
   void attach_clause(ClauseRef cref);
+  /// Places a clause in the arena, reusing a free-listed slot when one exists.
+  [[nodiscard]] ClauseRef alloc_clause(std::vector<Lit> lits, bool learned);
+  [[nodiscard]] bool interrupted() const noexcept {
+    return interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::vector<Watcher>& watches(Lit l) {
     return watches_[static_cast<std::size_t>(l.code)];
   }
@@ -140,7 +158,9 @@ class CdclSolver {
 
   std::vector<InternalClause> clauses_;
   std::vector<ClauseRef> learned_refs_;
+  std::vector<ClauseRef> free_slots_;  ///< removed arena slots awaiting reuse
   std::size_t num_problem_clauses_ = 0;
+  const std::atomic<bool>* interrupt_ = nullptr;
 
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code
   std::vector<LBool> assign_;                  // indexed by Var

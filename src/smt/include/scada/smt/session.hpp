@@ -6,6 +6,7 @@
 // this to enumerate threat vectors by adding blocking constraints).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,6 +33,15 @@ struct SessionOptions {
 struct SessionStats {
   double last_solve_seconds = 0.0;
   std::uint64_t solve_calls = 0;
+  /// Cumulative solver counters across all solve() calls of this session.
+  /// Populated by the native CDCL backend; the Z3 backend leaves them zero
+  /// (its internals are not exposed at this granularity).
+  std::uint64_t conflicts = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t propagations = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t learned_clauses = 0;
+  std::uint64_t removed_clauses = 0;
 };
 
 namespace detail {
@@ -42,6 +52,11 @@ class SessionImpl {
   virtual SolveResult solve(std::span<const Formula> assumptions) = 0;
   virtual bool var_value(Var builder_var) const = 0;
   virtual std::string describe() const = 0;
+  /// Backend hook for cooperative interruption; default: no mid-solve abort.
+  virtual void set_interrupt(const std::atomic<bool>* /*flag*/) {}
+  /// Copies the backend's cumulative counters into `stats` (leaves the
+  /// session-level fields untouched). Default: no counters available.
+  virtual void fill_counters(SessionStats& /*stats*/) const {}
 };
 
 /// Factory implemented in z3_backend.cpp (keeps z3++.h out of public headers).
@@ -80,6 +95,13 @@ class Session {
   /// Variables never mentioned in an assertion evaluate to false.
   [[nodiscard]] bool value(Formula f) const;
 
+  /// Cooperative cancellation for portfolio solving: while `flag` (owned by
+  /// the caller, e.g. a util::CancellationToken) reads true, solve() returns
+  /// Unknown — immediately when already set, and mid-solve at the next
+  /// conflict/decision boundary on the CDCL backend. The Z3 backend only
+  /// honors the flag between solve() calls. Pass nullptr to detach.
+  void set_interrupt(const std::atomic<bool>* flag);
+
   [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::string describe() const;
 
@@ -87,6 +109,7 @@ class Session {
   const FormulaBuilder* builder_;
   std::unique_ptr<detail::SessionImpl> impl_;
   SessionStats stats_;
+  const std::atomic<bool>* interrupt_ = nullptr;
   SolveResult last_result_ = SolveResult::Unknown;
 };
 

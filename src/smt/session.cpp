@@ -49,6 +49,18 @@ class CdclSessionImpl final : public SessionImpl {
            ", clauses=" + std::to_string(solver_.num_clauses()) + ")";
   }
 
+  void set_interrupt(const std::atomic<bool>* flag) override { solver_.set_interrupt(flag); }
+
+  void fill_counters(SessionStats& stats) const override {
+    const CdclStats& s = solver_.stats();
+    stats.conflicts = s.conflicts;
+    stats.decisions = s.decisions;
+    stats.propagations = s.propagations;
+    stats.restarts = s.restarts;
+    stats.learned_clauses = s.learned_clauses;
+    stats.removed_clauses = s.removed_clauses;
+  }
+
  private:
   void snapshot_model() {
     model_.assign(static_cast<std::size_t>(builder_.num_vars()) + 1, false);
@@ -96,11 +108,22 @@ void Session::assert_formula(Formula f) { impl_->assert_formula(f); }
 SolveResult Session::solve() { return solve(std::span<const Formula>{}); }
 
 SolveResult Session::solve(std::span<const Formula> assumptions) {
+  if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
+    // Cancelled before the solve started; don't touch backend state.
+    last_result_ = SolveResult::Unknown;
+    return last_result_;
+  }
   util::WallTimer timer;
   last_result_ = impl_->solve(assumptions);
   stats_.last_solve_seconds = timer.seconds();
   ++stats_.solve_calls;
+  impl_->fill_counters(stats_);
   return last_result_;
+}
+
+void Session::set_interrupt(const std::atomic<bool>* flag) {
+  interrupt_ = flag;
+  impl_->set_interrupt(flag);
 }
 
 bool Session::value(Formula f) const {

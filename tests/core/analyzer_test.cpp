@@ -73,6 +73,62 @@ TEST_P(AnalyzerVsBruteForce, ThreatSpacesMatchOnCaseStudy) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, AnalyzerVsBruteForce, ::testing::Range(0, 8));
 
+TEST(AnalyzerTest, LinkFailureVerdictsMatchBruteForce) {
+  // Regression: with links_can_fail the encoder lets links fail under a
+  // combined budget, but the brute-force baseline used to enumerate device
+  // subsets only — the SMT side reported Sat (e.g. the single MTU-router
+  // link severs all observability) while brute force said Unsat.
+  const ScadaScenario s = make_case_study(CaseStudyTopology::Fig3);
+  AnalyzerOptions options;
+  options.encoder.links_can_fail = true;
+  BruteForceVerifier brute(s, options.encoder);
+
+  for (const auto backend : {smt::Backend::Z3, smt::Backend::Cdcl}) {
+    options.solver.backend = backend;
+    ScadaAnalyzer analyzer(s, options);
+    for (int k = 0; k <= 2; ++k) {
+      const auto spec = ResiliencySpec::total(k);
+      const auto smt_result = analyzer.verify(Property::Observability, spec);
+      const auto brute_result = brute.verify(Property::Observability, spec);
+      EXPECT_EQ(smt_result.result, brute_result.result)
+          << smt::to_string(backend) << " k=" << k;
+    }
+  }
+
+  // The k=1 threat space must agree too, link vectors included.
+  options.solver.backend = smt::Backend::Z3;
+  ScadaAnalyzer analyzer(s, options);
+  auto enumerated = analyzer.enumerate_threats(Property::Observability, ResiliencySpec::total(1));
+  auto expected = brute.enumerate_threats(Property::Observability, ResiliencySpec::total(1));
+  const auto canon = [](std::vector<ThreatVector>& v) {
+    std::sort(v.begin(), v.end(), [](const ThreatVector& a, const ThreatVector& b) {
+      return std::tie(a.failed_ieds, a.failed_rtus, a.failed_links) <
+             std::tie(b.failed_ieds, b.failed_rtus, b.failed_links);
+    });
+  };
+  canon(enumerated);
+  canon(expected);
+  EXPECT_EQ(enumerated, expected);
+  const auto has_link_vector = [](const std::vector<ThreatVector>& v) {
+    return std::any_of(v.begin(), v.end(),
+                       [](const ThreatVector& t) { return !t.failed_links.empty(); });
+  };
+  EXPECT_TRUE(has_link_vector(expected)) << "baseline found no link-only threat";
+}
+
+TEST(AnalyzerTest, PerTypeBudgetsPinLinksUpInBothEngines) {
+  // With per-type budgets the encoder pins every link up; the baseline must
+  // mirror that (no link candidates), keeping the verdicts aligned.
+  const ScadaScenario s = make_case_study(CaseStudyTopology::Fig3);
+  AnalyzerOptions options;
+  options.encoder.links_can_fail = true;
+  BruteForceVerifier brute(s, options.encoder);
+  ScadaAnalyzer analyzer(s, options);
+  const auto spec = ResiliencySpec::per_type(1, 1);
+  EXPECT_EQ(analyzer.verify(Property::Observability, spec).result,
+            brute.verify(Property::Observability, spec).result);
+}
+
 TEST(AnalyzerTest, ThreatVectorsAreMinimalAndReal) {
   const ScadaScenario s = make_case_study();
   ScadaAnalyzer analyzer(s);

@@ -1,0 +1,208 @@
+// Parallel engine parity: every ParallelAnalyzer operation must reproduce
+// the serial analyzer's results deterministically — same verdicts, same
+// threat sets, same probe accounting — regardless of worker count or timing.
+#include "scada/core/parallel_analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "scada/core/case_study.hpp"
+#include "scada/synth/generator.hpp"
+
+namespace scada::core {
+namespace {
+
+std::vector<ThreatVector> canonical(std::vector<ThreatVector> v) {
+  std::sort(v.begin(), v.end(), ParallelAnalyzer::threat_vector_less);
+  return v;
+}
+
+TEST(ThreatVectorOrderTest, SizeThenLexicographic) {
+  const ThreatVector empty;
+  const ThreatVector ied1{.failed_ieds = {1}};
+  const ThreatVector ied2{.failed_ieds = {2}};
+  const ThreatVector rtu1{.failed_rtus = {1}};
+  const ThreatVector pair{.failed_ieds = {1, 2}};
+  EXPECT_TRUE(ParallelAnalyzer::threat_vector_less(empty, ied1));
+  EXPECT_TRUE(ParallelAnalyzer::threat_vector_less(ied1, ied2));
+  EXPECT_TRUE(ParallelAnalyzer::threat_vector_less(ied2, rtu1));  // IEDs before RTUs
+  EXPECT_TRUE(ParallelAnalyzer::threat_vector_less(rtu1, pair));  // size dominates
+  EXPECT_FALSE(ParallelAnalyzer::threat_vector_less(ied1, ied1));
+}
+
+class ParallelVsSerial : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelVsSerial, EnumerationMatchesSerialAntichain) {
+  const auto topology = GetParam() % 2 == 0 ? CaseStudyTopology::Fig3 : CaseStudyTopology::Fig4;
+  const ScadaScenario s = make_case_study(topology);
+  const Property property =
+      GetParam() % 3 == 0 ? Property::SecuredObservability : Property::Observability;
+  const auto spec = ResiliencySpec::per_type(1 + GetParam() % 2, 1);
+
+  ParallelOptions options;
+  options.threads = 1 + GetParam() % 4;
+  options.analyzer.solver.backend =
+      (GetParam() / 2) % 2 == 0 ? smt::Backend::Z3 : smt::Backend::Cdcl;
+  ParallelAnalyzer parallel(s, options);
+  ScadaAnalyzer serial(s, options.analyzer);
+
+  const auto got = parallel.enumerate_threats(property, spec);
+  const auto expected = canonical(serial.enumerate_threats(property, spec));
+  EXPECT_EQ(got, expected);
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end(), ParallelAnalyzer::threat_vector_less));
+}
+
+TEST_P(ParallelVsSerial, MaxResiliencyMatchesSerial) {
+  const ScadaScenario s = make_case_study();
+  ParallelOptions options;
+  options.threads = 1 + GetParam() % 4;
+  options.analyzer.solver.backend =
+      GetParam() % 2 == 0 ? smt::Backend::Z3 : smt::Backend::Cdcl;
+  ParallelAnalyzer parallel(s, options);
+  ScadaAnalyzer serial(s, options.analyzer);
+
+  const auto failure_class = GetParam() % 3 == 0   ? FailureClass::Combined
+                             : GetParam() % 3 == 1 ? FailureClass::IedOnly
+                                                   : FailureClass::RtuOnly;
+  const auto got = parallel.max_resiliency(Property::Observability, failure_class);
+  const auto expected = serial.max_resiliency(Property::Observability, failure_class);
+  EXPECT_EQ(got.max_k, expected.max_k);
+  EXPECT_EQ(got.probes, expected.probes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelVsSerial, ::testing::Range(0, 8));
+
+TEST(ParallelAnalyzerTest, MaxResiliencyProbesCounted) {
+  // Same accounting as the serial analyzer's test: probes reports the
+  // serial-equivalent count even though the portfolio runs all budgets.
+  const ScadaScenario s = make_case_study();
+  ParallelAnalyzer parallel(s, {.threads = 4});
+  const auto r = parallel.max_resiliency(Property::Observability, FailureClass::IedOnly);
+  EXPECT_EQ(r.max_k, 3);
+  EXPECT_EQ(r.probes, 5);  // k = 0..4, sat at 4
+}
+
+TEST(ParallelAnalyzerTest, BruteForceVerifyMatchesSerialExactly) {
+  const ScadaScenario s = make_case_study();
+  ParallelOptions options;
+  options.threads = 3;
+  ParallelAnalyzer parallel(s, options);
+  BruteForceVerifier serial(s, options.analyzer.encoder);
+  for (const Property property : {Property::Observability, Property::SecuredObservability}) {
+    for (int k = 0; k <= 2; ++k) {
+      const auto spec = ResiliencySpec::total(k);
+      const auto got = parallel.brute_force_verify(property, spec);
+      const auto expected = serial.verify(property, spec);
+      EXPECT_EQ(got.result, expected.result) << to_string(property) << " k=" << k;
+      // Same winning vector, not just the same verdict: the sharded search
+      // must keep the serial first-hit (smallest, lexicographically first).
+      EXPECT_EQ(got.threat, expected.threat) << to_string(property) << " k=" << k;
+    }
+  }
+}
+
+TEST(ParallelAnalyzerTest, BruteForceEnumerateMatchesSerialOrder) {
+  const ScadaScenario s = make_case_study();
+  ParallelOptions options;
+  options.threads = 4;
+  ParallelAnalyzer parallel(s, options);
+  BruteForceVerifier serial(s, options.analyzer.encoder);
+  const auto spec = ResiliencySpec::per_type(2, 1);
+  const auto got = parallel.brute_force_enumerate(Property::Observability, spec);
+  const auto expected = serial.enumerate_threats(Property::Observability, spec);
+  EXPECT_EQ(got, expected);  // element-wise: content AND order
+}
+
+TEST(ParallelAnalyzerTest, BruteForceHandlesLinkFailures) {
+  const ScadaScenario s = make_case_study(CaseStudyTopology::Fig3);
+  ParallelOptions options;
+  options.analyzer.encoder.links_can_fail = true;
+  options.threads = 2;
+  ParallelAnalyzer parallel(s, options);
+  BruteForceVerifier serial(s, options.analyzer.encoder);
+  const auto spec = ResiliencySpec::total(1);
+  const auto got = parallel.brute_force_verify(Property::Observability, spec);
+  const auto expected = serial.verify(Property::Observability, spec);
+  ASSERT_EQ(got.result, expected.result);
+  EXPECT_EQ(got.threat, expected.threat);
+  EXPECT_EQ(parallel.brute_force_enumerate(Property::Observability, spec),
+            serial.enumerate_threats(Property::Observability, spec));
+}
+
+TEST(ParallelAnalyzerTest, EnumerationDeterministicAcrossRunsAndThreadCounts) {
+  const ScadaScenario s = make_case_study();
+  const auto spec = ResiliencySpec::per_type(2, 1);
+  std::vector<ThreatVector> reference;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ParallelOptions options;
+    options.threads = threads;
+    ParallelAnalyzer parallel(s, options);
+    for (int run = 0; run < 2; ++run) {
+      const auto got = parallel.enumerate_threats(Property::Observability, spec);
+      if (reference.empty()) {
+        reference = got;
+        ASSERT_FALSE(reference.empty());
+      } else {
+        EXPECT_EQ(got, reference) << "threads=" << threads << " run=" << run;
+      }
+    }
+  }
+}
+
+TEST(ParallelAnalyzerTest, ExplicitCubeBitsStillComplete) {
+  const ScadaScenario s = make_case_study();
+  const auto spec = ResiliencySpec::per_type(1, 1);
+  ScadaAnalyzer serial(s);
+  const auto expected = canonical(serial.enumerate_threats(Property::Observability, spec));
+  for (const std::size_t bits : {1u, 3u, 5u}) {
+    ParallelOptions options;
+    options.threads = 2;
+    options.cube_bits = bits;
+    ParallelAnalyzer parallel(s, options);
+    EXPECT_EQ(parallel.enumerate_threats(Property::Observability, spec), expected)
+        << "cube_bits=" << bits;
+  }
+}
+
+TEST(ParallelAnalyzerTest, NonMinimalEnumerationMatchesSerialSet) {
+  const ScadaScenario s = make_case_study();
+  const auto spec = ResiliencySpec::per_type(1, 1);
+  ParallelAnalyzer parallel(s, {.threads = 2});
+  ScadaAnalyzer serial(s);
+  const auto got =
+      parallel.enumerate_threats(Property::SecuredObservability, spec, 1024, false);
+  const auto expected = canonical(
+      serial.enumerate_threats(Property::SecuredObservability, spec, 1024, false));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(ParallelAnalyzerTest, MaxVectorsCapRespected) {
+  const ScadaScenario s = make_case_study();
+  ParallelAnalyzer parallel(s, {.threads = 2});
+  const auto threats = parallel.enumerate_threats(Property::SecuredObservability,
+                                                  ResiliencySpec::per_type(1, 1), 2);
+  EXPECT_EQ(threats.size(), 2u);
+}
+
+TEST(ParallelAnalyzerTest, SyntheticScenarioParity) {
+  synth::SynthConfig config;
+  config.buses = 10;
+  config.measurement_fraction = 0.7;
+  config.seed = 7;
+  const ScadaScenario s = synth::generate_scenario(config);
+  ParallelOptions options;
+  options.threads = 3;
+  ParallelAnalyzer parallel(s, options);
+  ScadaAnalyzer serial(s, options.analyzer);
+  const auto spec = ResiliencySpec::total(2);
+  EXPECT_EQ(parallel.enumerate_threats(Property::Observability, spec),
+            canonical(serial.enumerate_threats(Property::Observability, spec)));
+  const auto got = parallel.max_resiliency(Property::Observability, FailureClass::Combined);
+  const auto expected = serial.max_resiliency(Property::Observability, FailureClass::Combined);
+  EXPECT_EQ(got.max_k, expected.max_k);
+  EXPECT_EQ(got.probes, expected.probes);
+}
+
+}  // namespace
+}  // namespace scada::core

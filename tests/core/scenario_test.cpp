@@ -66,6 +66,30 @@ TEST(ScenarioTest, MeasurementIndexOutOfRangeQueryThrows) {
   EXPECT_THROW((void)s.ied_of_measurement(7), ConfigError);
 }
 
+TEST(ScenarioTest, DeviceIdListsAreSortedRegardlessOfDeclarationOrder) {
+  // Regression: BruteForceVerifier and the parallel engine binary-search and
+  // merge on ied_ids()/rtu_ids() being ascending; a scenario built from a
+  // shuffled device inventory must still expose sorted id lists.
+  std::vector<scadanet::Device> devices = {
+      {.id = 7, .type = scadanet::DeviceType::Ied},
+      {.id = 2, .type = scadanet::DeviceType::Ied},
+      {.id = 11, .type = scadanet::DeviceType::Rtu},
+      {.id = 5, .type = scadanet::DeviceType::Ied},
+      {.id = 9, .type = scadanet::DeviceType::Rtu},
+      {.id = 13, .type = scadanet::DeviceType::Mtu},
+  };
+  std::vector<scadanet::Link> links = {{1, 7, 9},  {2, 2, 9},  {3, 5, 11},
+                                       {4, 9, 13}, {5, 11, 13}};
+  const ScadaScenario s(scadanet::ScadaTopology(std::move(devices), std::move(links)),
+                        scadanet::SecurityPolicy{},
+                        scadanet::CryptoRuleRegistry::paper_defaults(),
+                        powersys::MeasurementModel(powersys::JacobianMatrix::from_rows(
+                            {{1.0, 0.0}, {0.0, 1.0}, {1.0, -1.0}})),
+                        {{7, {0}}, {2, {1}}, {5, {2}}});
+  EXPECT_EQ(s.ied_ids(), (std::vector<int>{2, 5, 7}));
+  EXPECT_EQ(s.rtu_ids(), (std::vector<int>{9, 11}));
+}
+
 TEST(ScenarioTest, CaseStudyIsCopyable) {
   const ScadaScenario a = make_case_study();
   const ScadaScenario b = a;  // the hardening advisor relies on copies

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
 #include <vector>
 
 #include "scada/smt/formula.hpp"
@@ -285,6 +287,95 @@ TEST(CdclTest, AgreesWithZ3OnLargerRandomInstances) {
     }
     EXPECT_EQ(cdcl.solve(), z3.solve()) << "round " << round;
   }
+}
+
+/// Adds PHP(pigeons, holes) to the solver: unsat iff pigeons > holes.
+void add_pigeonhole(CdclSolver& s, int pigeons, int holes) {
+  const auto v = [&](int p, int h) { return static_cast<Var>(p * holes + h + 1); };
+  for (int p = 0; p < pigeons; ++p) {
+    Clause c;
+    for (int h = 0; h < holes; ++h) c.push_back(pos(v(p, h)));
+    s.add_clause(c);
+  }
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        s.add_clause({neg(v(p1, h)), neg(v(p2, h))});
+      }
+    }
+  }
+}
+
+TEST(CdclTest, ArenaStaysBoundedAcrossReductions) {
+  // Regression: reduce_learned_db used to tombstone removed clauses without
+  // ever reclaiming their arena slots, so a long-running solve grew the
+  // arena without bound. With the free list, arena size is bounded by
+  // problem clauses + the learned-DB soft limit's high-water mark.
+  CdclConfig config;
+  config.learned_base = 50;     // force frequent reductions
+  config.learned_growth = 1.0;  // keep the soft limit fixed
+  CdclSolver s(config);
+  add_pigeonhole(s, 8, 7);  // hard enough to learn thousands of clauses
+  EXPECT_EQ(s.solve(), SolveResult::Unsat);
+  ASSERT_GT(s.stats().removed_clauses, 100u) << "reduction never triggered";
+  // Without slot reuse the arena would hold every clause ever learned.
+  EXPECT_LT(s.arena_clauses(),
+            s.num_clauses() + s.stats().learned_clauses - s.stats().removed_clauses / 2);
+  EXPECT_EQ(s.arena_clauses() + s.stats().removed_clauses,
+            s.num_clauses() + s.stats().learned_clauses + s.free_clause_slots());
+}
+
+TEST(CdclTest, FreedSlotsAreReusedCorrectly) {
+  // After heavy reduction traffic the solver must still be sound: verify a
+  // mixed sat/unsat sequence on the same instance via assumptions.
+  CdclConfig config;
+  config.learned_base = 30;
+  config.learned_growth = 1.0;
+  CdclSolver s(config);
+  add_pigeonhole(s, 7, 7);  // sat: a permutation assignment exists
+  ASSERT_EQ(s.solve(), SolveResult::Sat);
+  // Forbid pigeon 0 from every hole via assumptions: now unsat.
+  std::vector<Lit> none;
+  for (int h = 0; h < 7; ++h) none.push_back(neg(static_cast<Var>(h + 1)));
+  EXPECT_EQ(s.solve(none), SolveResult::Unsat);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(CdclTest, PresetInterruptFlagReturnsUnknown) {
+  CdclSolver s;
+  s.add_clause({L(1), L(2)});
+  std::atomic<bool> flag{true};
+  s.set_interrupt(&flag);
+  EXPECT_EQ(s.solve(), SolveResult::Unknown);
+  // Clearing the flag (or detaching) makes the solver usable again.
+  flag.store(false);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+  flag.store(true);
+  s.set_interrupt(nullptr);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+}
+
+TEST(CdclTest, CrossThreadInterruptAbortsSolve) {
+  // A hard instance that would run far longer than the test: PHP(10,9).
+  CdclSolver s;
+  add_pigeonhole(s, 10, 9);
+  std::atomic<bool> flag{false};
+  s.set_interrupt(&flag);
+  std::thread canceller([&flag] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    flag.store(true);
+  });
+  const SolveResult r = s.solve();
+  canceller.join();
+  // Either the solver finished first (Unsat) or the interrupt landed.
+  EXPECT_TRUE(r == SolveResult::Unsat || r == SolveResult::Unknown);
+  // State stays consistent: a fresh solve after clearing the flag works.
+  flag.store(false);
+  CdclConfig budget;
+  budget.max_conflicts = 10;
+  CdclSolver quick(budget);
+  quick.add_clause({L(1)});
+  EXPECT_EQ(quick.solve(), SolveResult::Sat);
 }
 
 TEST(CdclTest, PhaseSavingKeepsRepeatedSolvesCheap) {

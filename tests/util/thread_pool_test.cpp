@@ -1,0 +1,102 @@
+#include "scada/util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace scada::util {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFallsBackToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  auto f = pool.submit([] { return std::string("ran"); });
+  EXPECT_EQ(f.get(), "ran");
+}
+
+TEST(ThreadPoolTest, VoidTasksComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllReturnTheirValue) {
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+  // The worker survives the throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.submit([&counter] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        counter.fetch_add(1);
+      });
+    }
+  }  // dtor joins; every queued task must have run
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(CancellationTokenTest, StartsClear) {
+  CancellationToken token;
+  EXPECT_FALSE(token.cancelled());
+  ASSERT_NE(token.flag(), nullptr);
+  EXPECT_FALSE(token.flag()->load());
+}
+
+TEST(CancellationTokenTest, CancelAndReset) {
+  CancellationToken token;
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(token.flag()->load());
+  token.reset();
+  EXPECT_FALSE(token.cancelled());
+}
+
+TEST(CancellationTokenTest, VisibleAcrossThreads) {
+  CancellationToken token;
+  ThreadPool pool(1);
+  auto f = pool.submit([flag = token.flag()] {
+    while (!flag->load(std::memory_order_relaxed)) {
+      std::this_thread::yield();
+    }
+    return true;
+  });
+  token.cancel();
+  EXPECT_TRUE(f.get());
+}
+
+}  // namespace
+}  // namespace scada::util
