@@ -117,6 +117,30 @@ BENCHMARK(BM_PortfolioMaxResiliency)
     ->ArgNames({"buses", "threads"})
     ->Unit(benchmark::kMillisecond);
 
+/// CDCL verification with certification off (certify=0) vs on (certify=1):
+/// quantifies the cost of DRAT recording plus the independent re-check of
+/// every verdict. The certify=0 row doubles as the regression guard that
+/// proof logging disabled stays free (the hook is one branch per conflict).
+void BM_CertifiedVerify(benchmark::State& state) {
+  const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
+  core::AnalyzerOptions options;
+  options.solver.backend = smt::Backend::Cdcl;
+  options.certify = state.range(1) != 0;
+  core::ScadaAnalyzer analyzer(scenario, options);
+  int certified = 0;
+  for (auto _ : state) {
+    const auto result = analyzer.verify(core::Property::SecuredObservability,
+                                        core::ResiliencySpec::total(2));
+    benchmark::DoNotOptimize(result);
+    certified += result.certified ? 1 : 0;
+  }
+  state.counters["certified"] = static_cast<double>(certified);
+}
+BENCHMARK(BM_CertifiedVerify)
+    ->ArgsProduct({{14, 30}, {0, 1}})
+    ->ArgNames({"buses", "certify"})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SerialBruteForce(benchmark::State& state) {
   const core::ScadaScenario scenario = synthetic(static_cast<int>(state.range(0)));
   core::BruteForceVerifier brute(scenario);

@@ -105,18 +105,35 @@ ThreatVector ScadaAnalyzer::minimize(Property property, const ResiliencySpec& sp
   return minimize_threat(oracle_, property, spec, std::move(threat));
 }
 
+smt::SessionOptions ScadaAnalyzer::session_options() const {
+  smt::SessionOptions solver = options_.solver;
+  if (options_.certify) solver.certify = true;
+  return solver;
+}
+
+bool ScadaAnalyzer::check_certificate(const smt::Session& session) const {
+  if (!options_.certify) return false;
+  const smt::CertificateResult cert = session.certify_last_result();
+  if (!cert.available) return false;
+  if (!cert.valid) {
+    throw ScadaError("verdict failed certification: " + cert.detail);
+  }
+  return true;
+}
+
 VerificationResult ScadaAnalyzer::verify(Property property, const ResiliencySpec& spec) {
   VerificationResult out;
   util::WallTimer encode_timer;
   smt::FormulaBuilder builder;
   ThreatEncoder encoder(scenario_, options_.encoder, builder);
   const smt::Formula threat = encoder.threat(property, spec);
-  smt::Session session(builder, options_.solver);
+  smt::Session session(builder, session_options());
   session.assert_formula(threat);
   out.encode_seconds = encode_timer.seconds();
 
   out.result = session.solve();
   out.solve_seconds = session.stats().last_solve_seconds;
+  out.certified = check_certificate(session);
   if (out.result == SolveResult::Sat) {
     ThreatVector v = extract_threat(encoder, session);
     if (options_.minimize_threats) v = minimize(property, spec, v);
@@ -131,11 +148,16 @@ std::vector<ThreatVector> ScadaAnalyzer::enumerate_threats(Property property,
                                                            bool minimal_only) {
   smt::FormulaBuilder builder;
   ThreatEncoder encoder(scenario_, options_.encoder, builder);
-  smt::Session session(builder, options_.solver);
+  smt::Session session(builder, session_options());
   session.assert_formula(encoder.threat(property, spec));
 
   std::vector<ThreatVector> vectors;
-  while (vectors.size() < max_vectors && session.solve() == SolveResult::Sat) {
+  while (vectors.size() < max_vectors) {
+    const SolveResult r = session.solve();
+    // Certify every verdict of the enumeration, including the final unsat
+    // that closes the threat space (the claim that the antichain is total).
+    check_certificate(session);
+    if (r != SolveResult::Sat) break;
     ThreatVector v = extract_threat(encoder, session);
     if (minimal_only) {
       v = minimize(property, spec, v);

@@ -41,6 +41,10 @@ struct VerificationResult {
   std::optional<ThreatVector> threat;
   double solve_seconds = 0.0;
   double encode_seconds = 0.0;
+  /// With AnalyzerOptions::certify on the CDCL backend: the verdict was
+  /// re-checked against its certificate (DRAT proof for unsat, model
+  /// evaluation for sat) by the independent checker.
+  bool certified = false;
 
   /// Unsat certifies the resiliency specification.
   [[nodiscard]] bool resilient() const noexcept { return result == smt::SolveResult::Unsat; }
@@ -60,6 +64,12 @@ struct AnalyzerOptions {
   EncoderOptions encoder;
   /// Shrink Sat models to minimal threat vectors using the direct oracle.
   bool minimize_threats = true;
+  /// CDCL backend only: record a DRAT proof of every unsat verdict and
+  /// re-check it with the independent backward checker before reporting
+  /// (sat models are cross-checked against the recorded CNF). A rejected
+  /// certificate throws ScadaError — the solver produced a verdict it
+  /// cannot justify, the same defect class as an oracle divergence.
+  bool certify = false;
 };
 
 /// Reads the failure assignment of the last Sat model out of a session as a
@@ -99,6 +109,12 @@ class ScadaAnalyzer {
   [[nodiscard]] const ScadaScenario& scenario() const noexcept { return scenario_; }
 
  private:
+  /// Solver options with the analyzer-level certify opt-in folded in.
+  [[nodiscard]] smt::SessionOptions session_options() const;
+  /// When certifying: re-checks the session's last verdict. Returns true if
+  /// a certificate was available and accepted; throws ScadaError if one was
+  /// available and rejected.
+  bool check_certificate(const smt::Session& session) const;
   [[nodiscard]] ThreatVector extract_threat(const ThreatEncoder& encoder,
                                             const smt::Session& session) const;
   [[nodiscard]] ThreatVector minimize(Property property, const ResiliencySpec& spec,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "scada/smt/drat.hpp"
 #include "scada/util/error.hpp"
 
 namespace scada::smt {
@@ -70,12 +71,12 @@ bool CdclSolver::add_clause(std::span<const Lit> lits_in) {
   }
 
   if (normalized.empty()) {
-    unsat_ = true;
+    mark_unsat();
     return false;
   }
   if (normalized.size() == 1) {
     enqueue(normalized[0], kNoReason);
-    if (propagate() != kNoReason) unsat_ = true;
+    if (propagate() != kNoReason) mark_unsat();
     return !unsat_;
   }
 
@@ -83,6 +84,14 @@ bool CdclSolver::add_clause(std::span<const Lit> lits_in) {
   ++num_problem_clauses_;
   attach_clause(cref);
   return true;
+}
+
+void CdclSolver::mark_unsat() {
+  if (unsat_) return;
+  unsat_ = true;
+  // The proof's conclusion: the empty clause is RUP here because unit
+  // propagation over the logged derivations reproduces the conflict.
+  if (proof_ != nullptr) proof_->add_clause({});
 }
 
 CdclSolver::ClauseRef CdclSolver::alloc_clause(std::vector<Lit> lits, bool learned) {
@@ -340,6 +349,7 @@ void CdclSolver::reduce_learned_db() {
       return assign_[v] != LBool::Undef && reason_[v] == r;
     }();
     if (newly_removed.size() < target && c.lits.size() > 2 && !is_reason) {
+      if (proof_ != nullptr) proof_->delete_clause(c.lits);
       c.removed = true;
       c.lits.clear();
       c.lits.shrink_to_fit();
@@ -385,7 +395,7 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
   for (const Lit a : assumptions) ensure_var(a.var());
   cancel_until(0);
   if (propagate() != kNoReason) {
-    unsat_ = true;
+    mark_unsat();
     return SolveResult::Unsat;
   }
 
@@ -401,11 +411,15 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
       ++stats_.conflicts;
       ++conflicts_this_solve;
       if (decision_level() == 0) {
-        unsat_ = true;
+        mark_unsat();
         return SolveResult::Unsat;
       }
       std::uint32_t backtrack_level = 0;
       analyze(conflict, learned, backtrack_level);
+      // Every first-UIP learned clause (minimization included) is RUP with
+      // respect to the clauses available here, so logging additions in
+      // derivation order yields a checkable DRAT trace.
+      if (proof_ != nullptr) proof_->add_clause(learned);
       // Backtracking below the assumption prefix is fine: the loop below
       // re-places assumptions, and a now-false assumption yields Unsat there.
       cancel_until(backtrack_level);

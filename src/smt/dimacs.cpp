@@ -16,12 +16,17 @@ DimacsInstance read_dimacs(std::istream& in) {
 
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line[0] == 'c') continue;
-    if (line[0] == 'p') {
-      std::istringstream header(line);
-      std::string p, fmt;
+    // Tolerate CRLF line endings and whitespace-only lines.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == 'c') continue;
+    if (line[first] == 'p') {
+      if (have_header) throw ParseError("duplicate DIMACS header: " + line);
+      std::istringstream header(line.substr(first));
+      std::string p, fmt, trailing;
       long vars = 0, clauses = 0;
-      if (!(header >> p >> fmt >> vars >> clauses) || fmt != "cnf" || vars < 0 || clauses < 0) {
+      if (!(header >> p >> fmt >> vars >> clauses) || fmt != "cnf" || vars < 0 || clauses < 0 ||
+          (header >> trailing)) {
         throw ParseError("malformed DIMACS header: " + line);
       }
       instance.num_vars = static_cast<Var>(vars);
@@ -43,6 +48,14 @@ DimacsInstance read_dimacs(std::istream& in) {
         }
         current.push_back(Lit{var, v < 0});
       }
+    }
+    if (!body.eof()) {
+      // A non-numeric token would otherwise be dropped silently, splicing the
+      // surrounding literals into one bogus clause.
+      std::string bad;
+      body.clear();
+      body >> bad;
+      throw ParseError("invalid DIMACS literal token '" + bad + "' in line: " + line);
     }
   }
   if (!have_header) throw ParseError("missing DIMACS header");

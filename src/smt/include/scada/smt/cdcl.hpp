@@ -25,6 +25,8 @@
 
 namespace scada::smt {
 
+class DratWriter;
+
 struct CdclConfig {
   double var_decay = 0.95;          ///< EVSIDS decay factor
   double clause_decay = 0.999;      ///< learned clause activity decay
@@ -78,6 +80,14 @@ class CdclSolver {
   /// flipped from any thread (the parallel engine's first-SAT-wins
   /// cancellation). Pass nullptr to detach.
   void set_interrupt(const std::atomic<bool>* flag) noexcept { interrupt_ = flag; }
+
+  /// Streams the solver's derivations (learned clauses, database deletions,
+  /// and the empty clause on unsat) to `writer` as a DRAT proof. Attach
+  /// before the first add_clause() so the trace covers the whole run; the
+  /// writer (owned by the caller) must outlive the solver or be detached
+  /// with nullptr. Off (nullptr) by default — the logging hook is a single
+  /// branch per learned clause.
+  void set_proof(DratWriter* writer) noexcept { proof_ = writer; }
 
   [[nodiscard]] const CdclStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t num_clauses() const noexcept { return num_problem_clauses_; }
@@ -143,6 +153,9 @@ class CdclSolver {
     return activity_[static_cast<std::size_t>(a)] < activity_[static_cast<std::size_t>(b)];
   }
 
+  /// Flags the instance unsat; emits the empty clause to the proof once.
+  void mark_unsat();
+
   void attach_clause(ClauseRef cref);
   /// Places a clause in the arena, reusing a free-listed slot when one exists.
   [[nodiscard]] ClauseRef alloc_clause(std::vector<Lit> lits, bool learned);
@@ -161,6 +174,7 @@ class CdclSolver {
   std::vector<ClauseRef> free_slots_;  ///< removed arena slots awaiting reuse
   std::size_t num_problem_clauses_ = 0;
   const std::atomic<bool>* interrupt_ = nullptr;
+  DratWriter* proof_ = nullptr;
 
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code
   std::vector<LBool> assign_;                  // indexed by Var

@@ -9,8 +9,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
+#include "scada/smt/dimacs.hpp"
+#include "scada/smt/drat.hpp"
 #include "scada/smt/formula.hpp"
 #include "scada/smt/types.hpp"
 
@@ -23,6 +26,11 @@ struct SessionOptions {
   std::uint64_t max_conflicts = 0;
   /// Z3 soft timeout per solve() in milliseconds (0 = unlimited).
   unsigned z3_timeout_ms = 0;
+  /// CDCL only: record the lowered CNF and a DRAT derivation trace so the
+  /// last verdict can be re-checked independently (certify_last_result) or
+  /// exported (export_certificate). Adds proof-recording overhead per
+  /// learned clause; off by default.
+  bool certify = false;
   /// Z3 only: lower cardinality atoms to integer arithmetic
   /// (sum of ite(b,1,0) <= k) instead of native pseudo-Boolean atmost/atleast.
   /// This mirrors the paper's "Boolean and integer terms" encoding; the
@@ -44,6 +52,27 @@ struct SessionStats {
   std::uint64_t removed_clauses = 0;
 };
 
+/// Verdict of re-checking a solve result against its certificate.
+struct CertificateResult {
+  /// A certificate exists for the last verdict (requires the CDCL backend,
+  /// SessionOptions::certify, and — for unsat — an assumption-free proof
+  /// that reaches the empty clause).
+  bool available = false;
+  /// The independent check passed (DRAT proof accepted / model satisfies
+  /// the recorded CNF). Meaningless unless available.
+  bool valid = false;
+  /// Why the certificate is unavailable, or how the check failed.
+  std::string detail;
+};
+
+/// Everything needed to re-check an unsat verdict outside this process:
+/// the exact CNF the backend solved plus its DRAT derivation trace
+/// (consumable by tools/drat_check or any external DRAT checker).
+struct UnsatCertificate {
+  DimacsInstance cnf;
+  DratProof proof;
+};
+
 namespace detail {
 class SessionImpl {
  public:
@@ -57,6 +86,12 @@ class SessionImpl {
   /// Copies the backend's cumulative counters into `stats` (leaves the
   /// session-level fields untouched). Default: no counters available.
   virtual void fill_counters(SessionStats& /*stats*/) const {}
+  /// Re-checks the backend's last verdict. Default: no certificate support.
+  virtual CertificateResult certify_last(SolveResult /*last*/) const {
+    return {false, false, "backend does not support certificates"};
+  }
+  /// Exports the recorded CNF + proof. Default: nothing to export.
+  virtual std::optional<UnsatCertificate> export_certificate() const { return std::nullopt; }
 };
 
 /// Factory implemented in z3_backend.cpp (keeps z3++.h out of public headers).
@@ -101,6 +136,20 @@ class Session {
   /// conflict/decision boundary on the CDCL backend. The Z3 backend only
   /// honors the flag between solve() calls. Pass nullptr to detach.
   void set_interrupt(const std::atomic<bool>* flag);
+
+  /// Re-checks the last solve verdict against its certificate (requires
+  /// SessionOptions::certify and the CDCL backend):
+  ///   * Unsat — the recorded DRAT proof is replayed through the independent
+  ///     backward checker. Unavailable when the verdict was relative to
+  ///     assumptions (no standalone proof reaches the empty clause).
+  ///   * Sat — every recorded CNF clause is evaluated under the model.
+  /// Never throws on an invalid certificate; inspect the result.
+  [[nodiscard]] CertificateResult certify_last_result() const;
+
+  /// Copies out the recorded CNF + DRAT proof (e.g. to hand to an external
+  /// checker, or to mutate in negative tests). Empty unless certifying with
+  /// the CDCL backend.
+  [[nodiscard]] std::optional<UnsatCertificate> export_certificate() const;
 
   [[nodiscard]] const SessionStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::string describe() const;

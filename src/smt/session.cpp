@@ -9,15 +9,22 @@ namespace scada::smt {
 namespace detail {
 namespace {
 
-/// Feeds the CNF pipeline straight into the native CDCL solver.
+/// Feeds the CNF pipeline straight into the native CDCL solver; when
+/// certifying, also tees every clause into a DIMACS copy so the proof can be
+/// checked against exactly what the solver was given.
 class CdclSinkAdapter final : public ClauseSink {
  public:
-  explicit CdclSinkAdapter(CdclSolver& solver) : solver_(solver) {}
-  void add_clause(std::span<const Lit> lits) override { solver_.add_clause(lits); }
+  CdclSinkAdapter(CdclSolver& solver, DimacsInstance* cnf_copy)
+      : solver_(solver), cnf_copy_(cnf_copy) {}
+  void add_clause(std::span<const Lit> lits) override {
+    if (cnf_copy_ != nullptr) cnf_copy_->clauses.emplace_back(lits.begin(), lits.end());
+    solver_.add_clause(lits);
+  }
   Var fresh_var(const std::string&) override { return solver_.new_var(); }
 
  private:
   CdclSolver& solver_;
+  DimacsInstance* cnf_copy_;
 };
 
 class CdclSessionImpl final : public SessionImpl {
@@ -25,8 +32,12 @@ class CdclSessionImpl final : public SessionImpl {
   CdclSessionImpl(const FormulaBuilder& builder, const SessionOptions& options)
       : builder_(builder),
         solver_(CdclConfig{.max_conflicts = options.max_conflicts}),
-        sink_(solver_),
-        transformer_(builder, sink_, options.card_encoding) {}
+        recorder_(options.certify ? std::make_unique<DratProofRecorder>() : nullptr),
+        sink_(solver_, recorder_ ? &cnf_ : nullptr),
+        transformer_(builder, sink_, options.card_encoding) {
+    // Attach before any clause reaches the solver so the trace is complete.
+    if (recorder_) solver_.set_proof(recorder_.get());
+  }
 
   void assert_formula(Formula f) override { transformer_.assert_root(f); }
 
@@ -61,7 +72,50 @@ class CdclSessionImpl final : public SessionImpl {
     stats.removed_clauses = s.removed_clauses;
   }
 
+  CertificateResult certify_last(SolveResult last) const override {
+    if (!recorder_) return {false, false, "certify option disabled"};
+    CertificateResult out;
+    switch (last) {
+      case SolveResult::Sat: {
+        out.available = true;
+        std::vector<bool> model(static_cast<std::size_t>(solver_.num_vars()) + 1, false);
+        for (Var v = 1; v <= solver_.num_vars(); ++v) {
+          model[static_cast<std::size_t>(v)] = solver_.model_value(v);
+        }
+        out.valid = check_model(snapshot_cnf(), model);
+        if (!out.valid) out.detail = "model falsifies a recorded CNF clause";
+        return out;
+      }
+      case SolveResult::Unsat: {
+        if (!recorder_->proof().derives_empty()) {
+          return {false, false,
+                  "no standalone proof: unsat verdict is relative to assumptions"};
+        }
+        out.available = true;
+        const DratCheckResult check = check_drat(snapshot_cnf(), recorder_->proof());
+        out.valid = check.ok;
+        out.detail = check.error;
+        return out;
+      }
+      case SolveResult::Unknown: return {false, false, "no verdict to certify"};
+    }
+    return {false, false, "no verdict to certify"};
+  }
+
+  std::optional<UnsatCertificate> export_certificate() const override {
+    if (!recorder_) return std::nullopt;
+    return UnsatCertificate{snapshot_cnf(), recorder_->proof()};
+  }
+
  private:
+  /// The teed clause list with the variable count as of now (fresh Tseitin /
+  /// cardinality variables may have been allocated after early clauses).
+  DimacsInstance snapshot_cnf() const {
+    DimacsInstance cnf = cnf_;
+    cnf.num_vars = solver_.num_vars();
+    return cnf;
+  }
+
   void snapshot_model() {
     model_.assign(static_cast<std::size_t>(builder_.num_vars()) + 1, false);
     for (Var v = 1; v <= builder_.num_vars(); ++v) {
@@ -73,6 +127,8 @@ class CdclSessionImpl final : public SessionImpl {
 
   const FormulaBuilder& builder_;
   CdclSolver solver_;
+  DimacsInstance cnf_;  ///< certify only: every clause handed to the solver
+  std::unique_ptr<DratProofRecorder> recorder_;
   CdclSinkAdapter sink_;
   CnfTransformer transformer_;
   std::vector<bool> model_;
@@ -124,6 +180,14 @@ SolveResult Session::solve(std::span<const Formula> assumptions) {
 void Session::set_interrupt(const std::atomic<bool>* flag) {
   interrupt_ = flag;
   impl_->set_interrupt(flag);
+}
+
+CertificateResult Session::certify_last_result() const {
+  return impl_->certify_last(last_result_);
+}
+
+std::optional<UnsatCertificate> Session::export_certificate() const {
+  return impl_->export_certificate();
 }
 
 bool Session::value(Formula f) const {

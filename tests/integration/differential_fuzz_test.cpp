@@ -5,6 +5,11 @@
 // baseline bug (the class of defect behind the link-failure and sorted-id
 // regressions). Everything is seeded: a failure line prints the exact
 // (seed, property, spec) triple to replay.
+//
+// The CDCL engine additionally runs with certification on: every verdict is
+// re-checked against its certificate (DRAT proof replay for unsat, model
+// evaluation for sat) by the independent checker — a fourth oracle that a
+// rejected certificate fails via ScadaError, same as a divergence.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -71,6 +76,7 @@ TEST(DifferentialFuzzTest, AllEnginesAgreeOnRandomScenarios) {
     z3_options.solver.backend = smt::Backend::Z3;
     AnalyzerOptions cdcl_options = z3_options;
     cdcl_options.solver.backend = smt::Backend::Cdcl;
+    cdcl_options.certify = true;
 
     ScadaAnalyzer z3(s, z3_options);
     ScadaAnalyzer cdcl(s, cdcl_options);
@@ -81,7 +87,31 @@ TEST(DifferentialFuzzTest, AllEnginesAgreeOnRandomScenarios) {
     const auto brute_result = brute.verify(c.property, c.spec);
     EXPECT_EQ(z3_result.result, cdcl_result.result) << "Z3 vs CDCL: " << describe(c);
     EXPECT_EQ(z3_result.result, brute_result.result) << "SMT vs brute: " << describe(c);
+    EXPECT_TRUE(cdcl_result.certified) << "CDCL verdict without certificate: " << describe(c);
   }
+}
+
+TEST(DifferentialFuzzTest, UnsatVerdictsCarryCheckedProofs) {
+  // Every CDCL unsat verdict ("the configuration is resilient") in a fuzzed
+  // corpus must come with a DRAT proof the independent checker accepts; a
+  // rejected proof throws out of verify(). This is the certificate the paper
+  // pipeline rests on — a resiliency claim nobody can audit is worth little.
+  util::Rng rng(0xD4A7);
+  int unsat_certified = 0;
+  for (int round = 0; round < 20; ++round) {
+    const FuzzCase c = draw_case(rng);
+    const ScadaScenario s = synth::generate_scenario(c.config);
+    AnalyzerOptions options;
+    options.encoder = c.encoder;
+    options.solver.backend = smt::Backend::Cdcl;
+    options.certify = true;
+    ScadaAnalyzer analyzer(s, options);
+    const auto result = analyzer.verify(c.property, c.spec);
+    ASSERT_NE(result.result, smt::SolveResult::Unknown) << describe(c);
+    EXPECT_TRUE(result.certified) << describe(c);
+    if (result.result == smt::SolveResult::Unsat) ++unsat_certified;
+  }
+  EXPECT_GT(unsat_certified, 0) << "corpus produced no unsat verdicts — weak test";
 }
 
 TEST(DifferentialFuzzTest, ThreatSetsAgreeOnRandomScenarios) {
@@ -98,6 +128,9 @@ TEST(DifferentialFuzzTest, ThreatSetsAgreeOnRandomScenarios) {
     AnalyzerOptions options;
     options.encoder = c.encoder;
     options.solver.backend = round % 2 == 0 ? smt::Backend::Z3 : smt::Backend::Cdcl;
+    // Certify every solve of the enumeration loop on CDCL rounds (no-op
+    // for Z3, which has no certificate path).
+    options.certify = true;
     ScadaAnalyzer serial(s, options);
     BruteForceVerifier brute(s, c.encoder);
     ParallelOptions parallel_options;

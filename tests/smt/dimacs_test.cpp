@@ -53,6 +53,50 @@ TEST(DimacsTest, RejectsOutOfRangeLiteral) {
   EXPECT_THROW((void)read_dimacs_string("p cnf 2 1\n3 0\n"), ParseError);
 }
 
+TEST(DimacsTest, AcceptsCrlfLineEndings) {
+  const auto inst = read_dimacs_string("c comment\r\np cnf 2 2\r\n1 -2 0\r\n2 0\r\n");
+  EXPECT_EQ(inst.num_vars, 2);
+  ASSERT_EQ(inst.clauses.size(), 2u);
+  EXPECT_EQ(inst.clauses[0], (Clause{pos(1), neg(2)}));
+}
+
+TEST(DimacsTest, SkipsBlankAndWhitespaceLines) {
+  const auto inst = read_dimacs_string("\r\n\np cnf 2 1\n   \t\n1 2 0\n\n");
+  EXPECT_EQ(inst.clauses.size(), 1u);
+}
+
+TEST(DimacsTest, AcceptsCommentsBetweenClauses) {
+  const auto inst = read_dimacs_string("p cnf 2 2\n1 0\nc between clauses\n2 0\n");
+  EXPECT_EQ(inst.clauses.size(), 2u);
+}
+
+TEST(DimacsTest, ParsesExplicitEmptyClause) {
+  const auto inst = read_dimacs_string("p cnf 2 2\n1 2 0\n0\n");
+  ASSERT_EQ(inst.clauses.size(), 2u);
+  EXPECT_TRUE(inst.clauses[1].empty());
+}
+
+TEST(DimacsTest, RejectsNonNumericLiteralToken) {
+  // Previously stream-extraction failure silently dropped the rest of the
+  // line, splicing the surrounding literals into one bogus clause.
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 1\n1 x 0\n"), ParseError);
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 2\n1 0 junk\n2 0\n"), ParseError);
+}
+
+TEST(DimacsTest, RejectsDuplicateHeader) {
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 1\np cnf 2 1\n1 0\n"), ParseError);
+}
+
+TEST(DimacsTest, RejectsTrailingHeaderJunk) {
+  EXPECT_THROW((void)read_dimacs_string("p cnf 2 1 extra\n1 0\n"), ParseError);
+}
+
+TEST(DimacsTest, AcceptsIndentedHeaderAndClauses) {
+  const auto inst = read_dimacs_string("  p cnf 2 1\n  1 -2 0\n");
+  EXPECT_EQ(inst.num_vars, 2);
+  ASSERT_EQ(inst.clauses.size(), 1u);
+}
+
 TEST(DimacsTest, ParsedInstanceSolvable) {
   const auto inst = read_dimacs_string("p cnf 3 3\n1 2 0\n-1 3 0\n-2 -3 0\n");
   CdclSolver solver;

@@ -1,0 +1,81 @@
+// Independent DRAT proof checker CLI: consumes a DIMACS CNF and a proof
+// (text or binary DRAT) and re-derives the unsat verdict by backward RUP
+// checking — the external half of the unsat-certification pipeline
+// (sat_solve --proof emits proofs this tool consumes).
+//
+//   $ ./sat_solve --proof proof.drat problem.cnf   # exits 20 (unsat)
+//   $ ./drat_check problem.cnf proof.drat
+//   s VERIFIED
+//
+// Exit codes: 0 proof verified, 1 proof rejected or usage/parse error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "scada/smt/dimacs.hpp"
+#include "scada/smt/drat.hpp"
+#include "scada/util/error.hpp"
+#include "scada/util/timer.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--text|--binary] <dimacs.cnf> <proof.drat>\n"
+               "  --text / --binary   force the proof format (default: sniff)\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace scada::smt;
+
+  enum class Format { Auto, Text, Binary } format = Format::Auto;
+  const char* cnf_path = nullptr;
+  const char* proof_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--text") == 0) {
+      format = Format::Text;
+    } else if (std::strcmp(argv[i], "--binary") == 0) {
+      format = Format::Binary;
+    } else if (cnf_path == nullptr) {
+      cnf_path = argv[i];
+    } else if (proof_path == nullptr) {
+      proof_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (cnf_path == nullptr || proof_path == nullptr) return usage(argv[0]);
+
+  try {
+    std::ifstream cnf_in(cnf_path);
+    if (!cnf_in) throw scada::ParseError(std::string("cannot open ") + cnf_path);
+    const DimacsInstance formula = read_dimacs(cnf_in);
+
+    std::ifstream proof_in(proof_path, std::ios::binary);
+    if (!proof_in) throw scada::ParseError(std::string("cannot open ") + proof_path);
+    const DratProof proof = format == Format::Text     ? read_drat_text(proof_in)
+                            : format == Format::Binary ? read_drat_binary(proof_in)
+                                                       : read_drat_auto(proof_in);
+
+    scada::util::WallTimer timer;
+    const DratCheckResult result = check_drat(formula, proof);
+    std::printf("c vars=%d clauses=%zu proof_steps=%zu time=%.3fs\n", formula.num_vars,
+                formula.clauses.size(), proof.steps.size(), timer.seconds());
+    std::printf("c checked=%zu skipped=%zu core=%zu propagations=%zu\n",
+                result.stats.checked_additions, result.stats.skipped_additions,
+                result.stats.core_clauses, result.stats.propagations);
+    if (result.ok) {
+      std::printf("s VERIFIED\n");
+      return 0;
+    }
+    std::printf("s NOT VERIFIED\nc %s\n", result.error.c_str());
+    return 1;
+  } catch (const scada::ScadaError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,53 @@
+# End-to-end certificate round trip plus the proof-mutation negative test:
+#   1. sat_solve emits a DRAT proof for an unsat pigeonhole instance (exit 20),
+#   2. drat_check verifies the pristine proof (exit 0, "s VERIFIED"),
+#   3. one literal of the first proof step is flipped and drat_check must
+#      reject the mutated proof (exit 1, "s NOT VERIFIED").
+# A checker that accepts mutated proofs would certify nothing.
+#
+# Variables: SAT_SOLVE, DRAT_CHECK (executables), CNF (unsat instance),
+# WORK_DIR (scratch directory).
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(proof "${WORK_DIR}/proof.drat")
+set(mutated "${WORK_DIR}/proof_mutated.drat")
+
+execute_process(
+  COMMAND ${SAT_SOLVE} --proof ${proof} ${CNF}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 20)
+  message(FATAL_ERROR "sat_solve: expected unsat exit 20, got '${rc}'\n${out}")
+endif()
+
+execute_process(
+  COMMAND ${DRAT_CHECK} ${CNF} ${proof}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "s VERIFIED")
+  message(FATAL_ERROR "drat_check rejected a solver-emitted proof (exit '${rc}'):\n${out}")
+endif()
+
+# Flip the sign of the first literal of the first addition step. The first
+# step of a solver proof is always an addition (deletions only ever follow
+# learned clauses), so the mutation targets a real derivation.
+file(READ ${proof} text)
+string(REGEX MATCH "^(-?)([0-9]+)" first "${text}")
+if(first STREQUAL "")
+  message(FATAL_ERROR "proof does not start with a literal:\n${text}")
+endif()
+string(LENGTH "${first}" first_len)
+string(SUBSTRING "${text}" ${first_len} -1 rest)
+if(first MATCHES "^-")
+  string(SUBSTRING "${first}" 1 -1 flipped)
+else()
+  set(flipped "-${first}")
+endif()
+file(WRITE ${mutated} "${flipped}${rest}")
+
+execute_process(
+  COMMAND ${DRAT_CHECK} ${CNF} ${mutated}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 1 OR NOT out MATCHES "s NOT VERIFIED")
+  message(FATAL_ERROR "drat_check accepted a mutated proof (exit '${rc}'):\n${out}")
+endif()

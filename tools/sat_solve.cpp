@@ -6,29 +6,74 @@
 //   s SATISFIABLE
 //   v 1 -2 3 ... 0
 //
+// With --proof FILE (text DRAT) or --binary-proof FILE the solver's clause
+// derivations are streamed to FILE; on an unsat instance the resulting proof
+// is checkable with drat_check (or any external DRAT checker).
+//
 // Exit codes follow the SAT-competition convention: 10 sat, 20 unsat,
 // 0 unknown, 1 usage/parse error.
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
 
 #include "scada/smt/cdcl.hpp"
 #include "scada/smt/dimacs.hpp"
+#include "scada/smt/drat.hpp"
 #include "scada/util/error.hpp"
 #include "scada/util/timer.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--proof FILE | --binary-proof FILE] <dimacs.cnf>\n"
+               "  --proof FILE         stream a text DRAT proof to FILE\n"
+               "  --binary-proof FILE  stream a binary DRAT proof to FILE\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace scada::smt;
 
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: %s <dimacs.cnf>\n", argv[0]);
-    return 1;
+  const char* cnf_path = nullptr;
+  const char* proof_path = nullptr;
+  bool binary_proof = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--proof") == 0 || std::strcmp(argv[i], "--binary-proof") == 0) {
+      if (i + 1 >= argc || proof_path != nullptr) return usage(argv[0]);
+      binary_proof = std::strcmp(argv[i], "--binary-proof") == 0;
+      proof_path = argv[++i];
+    } else if (cnf_path == nullptr) {
+      cnf_path = argv[i];
+    } else {
+      return usage(argv[0]);
+    }
   }
+  if (cnf_path == nullptr) return usage(argv[0]);
+
   try {
-    std::ifstream in(argv[1]);
-    if (!in) throw scada::ParseError(std::string("cannot open ") + argv[1]);
+    std::ifstream in(cnf_path);
+    if (!in) throw scada::ParseError(std::string("cannot open ") + cnf_path);
     const DimacsInstance instance = read_dimacs(in);
 
+    std::ofstream proof_out;
+    std::unique_ptr<DratWriter> proof_writer;
     CdclSolver solver;
+    if (proof_path != nullptr) {
+      proof_out.open(proof_path, binary_proof ? std::ios::binary : std::ios::out);
+      if (!proof_out) throw scada::ParseError(std::string("cannot open ") + proof_path);
+      if (binary_proof) {
+        proof_writer = std::make_unique<DratBinaryWriter>(proof_out);
+      } else {
+        proof_writer = std::make_unique<DratTextWriter>(proof_out);
+      }
+      solver.set_proof(proof_writer.get());
+    }
+
     solver.ensure_var(instance.num_vars);
     for (const Clause& clause : instance.clauses) solver.add_clause(clause);
 
