@@ -1,0 +1,169 @@
+// Fleet-audit service benchmarks (google-benchmark): batch throughput
+// through the line-delimited BatchServer front end, and cache-hit vs
+// cold-solve latency through the JobScheduler, on the §IV case study and a
+// 30-bus synthetic system.
+//
+// Besides the usual benchmark table, the run writes a BENCH_service.json
+// summary (same directory) with the headline numbers — batch jobs/sec and
+// the cached/cold latency split — for dashboards that track the service
+// acceptance gate over time.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "scada/core/case_study.hpp"
+#include "scada/service/batch_server.hpp"
+#include "scada/service/job_scheduler.hpp"
+#include "scada/synth/generator.hpp"
+#include "scada/util/timer.hpp"
+
+namespace {
+
+using namespace scada;
+
+std::shared_ptr<const core::ScadaScenario> scenario_for(int buses) {
+  if (buses == 0) {
+    return std::make_shared<const core::ScadaScenario>(core::make_case_study());
+  }
+  synth::SynthConfig config;
+  config.buses = buses;
+  config.seed = 7;
+  return std::make_shared<const core::ScadaScenario>(synth::generate_scenario(config));
+}
+
+service::JobRequest verify_request(std::shared_ptr<const core::ScadaScenario> scenario, int k) {
+  service::JobRequest request;
+  request.scenario = std::move(scenario);
+  request.property = core::Property::Observability;
+  request.spec = core::ResiliencySpec::total(k);
+  return request;
+}
+
+/// Cold-solve latency: the cache is cleared every iteration, so each submit
+/// pays encoding + solving. Arg: 0 = case study, otherwise bus count.
+void BM_ColdSolveLatency(benchmark::State& state) {
+  const auto scenario = scenario_for(static_cast<int>(state.range(0)));
+  service::JobScheduler scheduler({.threads = 1});
+  for (auto _ : state) {
+    scheduler.cache().clear();
+    benchmark::DoNotOptimize(scheduler.submit(verify_request(scenario, 1)).outcome.get());
+  }
+}
+BENCHMARK(BM_ColdSolveLatency)->Arg(0)->Arg(30)->ArgName("buses")
+    ->Unit(benchmark::kMillisecond);
+
+/// Cache-hit latency: one cold solve up front, every timed iteration is a
+/// verdict-cache hit (fingerprint + LRU lookup + response copy).
+void BM_CacheHitLatency(benchmark::State& state) {
+  const auto scenario = scenario_for(static_cast<int>(state.range(0)));
+  service::JobScheduler scheduler({.threads = 1});
+  (void)scheduler.submit(verify_request(scenario, 1)).outcome.get();  // warm
+  for (auto _ : state) {
+    const service::JobOutcome outcome =
+        scheduler.submit(verify_request(scenario, 1)).outcome.get();
+    benchmark::DoNotOptimize(outcome);
+  }
+  state.counters["hit_rate"] = scheduler.cache().stats().hit_rate();
+}
+BENCHMARK(BM_CacheHitLatency)->Arg(0)->Arg(30)->ArgName("buses")
+    ->Unit(benchmark::kMicrosecond);
+
+/// A small audit batch (the scada_batch request mix in miniature) through
+/// the full protocol front end; reports jobs/sec. Arg pair: requests,
+/// 0 = cold server per iteration / 1 = one warm server across iterations.
+void BM_BatchThroughput(benchmark::State& state) {
+  const auto batch_lines = [&] {
+    std::ostringstream batch;
+    const int requests = static_cast<int>(state.range(0));
+    for (int i = 0; i < requests; ++i) {
+      const char* scenario = (i % 3 == 2) ? R"({"synth":{"buses":30,"seed":7}})"
+                                          : R"({"builtin":"case_study_fig3"})";
+      batch << "{\"id\":" << i << ",\"op\":\"verify\",\"scenario\":" << scenario
+            << ",\"spec\":{\"k\":" << (1 + i % 2) << "}}\n";
+    }
+    return batch.str();
+  }();
+
+  const bool warm = state.range(1) != 0;
+  auto server = std::make_unique<service::BatchServer>();
+  std::size_t served = 0;
+  for (auto _ : state) {
+    if (!warm) {
+      state.PauseTiming();
+      server = std::make_unique<service::BatchServer>();
+      state.ResumeTiming();
+    }
+    std::istringstream in(batch_lines);
+    std::ostringstream out;
+    served += server->serve(in, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["jobs_per_s"] =
+      benchmark::Counter(static_cast<double>(served), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BatchThroughput)
+    ->ArgsProduct({{32}, {0, 1}})
+    ->ArgNames({"requests", "warm"})
+    ->Unit(benchmark::kMillisecond);
+
+/// Headline numbers for BENCH_service.json, measured directly (independent
+/// of google-benchmark's iteration bookkeeping).
+void write_summary(const char* path) {
+  constexpr int kRequests = 64;
+  service::BatchServer server;
+  std::ostringstream batch;
+  for (int i = 0; i < kRequests; ++i) {
+    const char* scenario = (i % 3 == 2) ? R"({"synth":{"buses":30,"seed":7}})"
+                                        : R"({"builtin":"case_study_fig3"})";
+    batch << "{\"id\":" << i << ",\"op\":\"verify\",\"scenario\":" << scenario
+          << ",\"spec\":{\"k\":" << (1 + i % 4) << "}}\n";
+  }
+
+  util::WallTimer cold_timer;
+  {
+    std::istringstream in(batch.str());
+    std::ostringstream out;
+    (void)server.serve(in, out);
+  }
+  const double cold_ms = cold_timer.millis();
+
+  util::WallTimer warm_timer;
+  {
+    std::istringstream in(batch.str());
+    std::ostringstream out;
+    (void)server.serve(in, out);
+  }
+  const double warm_ms = warm_timer.millis();
+
+  const auto cache = server.scheduler().cache().stats();
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_service: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"service\",\"requests\":%d,"
+               "\"cold_pass_ms\":%.3f,\"warm_pass_ms\":%.3f,"
+               "\"cold_jobs_per_s\":%.1f,\"warm_jobs_per_s\":%.1f,"
+               "\"replay_speedup\":%.2f,\"cache_hit_rate\":%.4f}\n",
+               kRequests, cold_ms, warm_ms, kRequests * 1000.0 / cold_ms,
+               kRequests * 1000.0 / warm_ms, warm_ms > 0.0 ? cold_ms / warm_ms : 0.0,
+               cache.hit_rate());
+  std::fclose(f);
+  std::printf("wrote %s (cold %.1f ms, warm %.1f ms for %d requests)\n", path, cold_ms, warm_ms,
+              kRequests);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  write_summary("BENCH_service.json");
+  return 0;
+}

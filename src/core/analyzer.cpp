@@ -128,6 +128,7 @@ VerificationResult ScadaAnalyzer::verify(Property property, const ResiliencySpec
   ThreatEncoder encoder(scenario_, options_.encoder, builder);
   const smt::Formula threat = encoder.threat(property, spec);
   smt::Session session(builder, session_options());
+  session.set_interrupt(options_.interrupt);
   session.assert_formula(threat);
   out.encode_seconds = encode_timer.seconds();
 
@@ -149,6 +150,7 @@ std::vector<ThreatVector> ScadaAnalyzer::enumerate_threats(Property property,
   smt::FormulaBuilder builder;
   ThreatEncoder encoder(scenario_, options_.encoder, builder);
   smt::Session session(builder, session_options());
+  session.set_interrupt(options_.interrupt);
   session.assert_formula(encoder.threat(property, spec));
 
   std::vector<ThreatVector> vectors;
@@ -157,6 +159,8 @@ std::vector<ThreatVector> ScadaAnalyzer::enumerate_threats(Property property,
     // Certify every verdict of the enumeration, including the final unsat
     // that closes the threat space (the claim that the antichain is total).
     check_certificate(session);
+    // Unknown (an interrupt fired mid-enumeration) stops here and reports
+    // the vectors found so far — the partial threat space a deadline allows.
     if (r != SolveResult::Sat) break;
     ThreatVector v = extract_threat(encoder, session);
     if (minimal_only) {

@@ -9,6 +9,7 @@
 //                       (Fig. 7(a)'s metric).
 #pragma once
 
+#include <atomic>
 #include <optional>
 #include <string>
 #include <vector>
@@ -70,6 +71,12 @@ struct AnalyzerOptions {
   /// certificate throws ScadaError — the solver produced a verdict it
   /// cannot justify, the same defect class as an oracle divergence.
   bool certify = false;
+  /// Cooperative cancellation (see Session::set_interrupt): while the
+  /// pointed-to flag reads true, verify()/enumerate_threats() sessions
+  /// return Unknown instead of solving to completion. The flag must outlive
+  /// the analyzer call; nullptr (default) disables interruption. This is the
+  /// hook the service scheduler's deadline watchdog uses.
+  const std::atomic<bool>* interrupt = nullptr;
 };
 
 /// Reads the failure assignment of the last Sat model out of a session as a

@@ -1,0 +1,350 @@
+// JsonValue + recursive-descent JSON parser (RFC 8259). The writer half of
+// the module lives in json.cpp; this file owns the value model and parsing.
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "scada/io/json.hpp"
+#include "scada/util/error.hpp"
+
+namespace scada::io {
+namespace {
+
+[[noreturn]] void fail(std::size_t offset, const std::string& what) {
+  throw ParseError("json: " + what + " at offset " + std::to_string(offset));
+}
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail(pos_, "trailing characters after document");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail(pos_, "unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(pos_, std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return JsonValue::make_string(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail(pos_, "invalid literal");
+        return JsonValue::make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail(pos_, "invalid literal");
+        return JsonValue::make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail(pos_, "invalid literal");
+        return JsonValue::make_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue obj = JsonValue::make_object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail(pos_ - 1, "expected ',' or '}' in object");
+    }
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue arr = JsonValue::make_array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail(pos_ - 1, "expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail(pos_, "truncated \\u escape");
+    unsigned value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_ + static_cast<std::size_t>(i)];
+      value <<= 4;
+      if (c >= '0' && c <= '9') value |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') value |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') value |= static_cast<unsigned>(c - 'A' + 10);
+      else fail(pos_ + static_cast<std::size_t>(i), "invalid \\u escape digit");
+    }
+    pos_ += 4;
+    return value;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail(pos_, "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail(pos_ - 1, "raw control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char esc = peek();
+      ++pos_;
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // High surrogate: require a low surrogate to follow.
+            if (pos_ + 1 < text_.size() && text_[pos_] == '\\' && text_[pos_ + 1] == 'u') {
+              pos_ += 2;
+              const unsigned lo = parse_hex4();
+              if (lo < 0xDC00 || lo > 0xDFFF) fail(pos_ - 4, "invalid low surrogate");
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+            } else {
+              fail(pos_, "lone high surrogate");
+            }
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail(pos_ - 4, "lone low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail(pos_ - 1, "invalid escape");
+      }
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    const auto digits = [&] {
+      std::size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_, ++n;
+      return n;
+    };
+    const std::size_t int_start = pos_;
+    if (digits() == 0) fail(pos_, "invalid number");
+    if (text_[int_start] == '0' && pos_ - int_start > 1) fail(int_start, "leading zero");
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) fail(pos_, "digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (digits() == 0) fail(pos_, "digits required in exponent");
+    }
+    return JsonValue::make_number(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+[[noreturn]] void kind_error(const char* wanted) {
+  throw ParseError(std::string("json: value is not ") + wanted);
+}
+
+}  // namespace
+
+JsonValue JsonValue::make_bool(bool b) {
+  JsonValue v;
+  v.kind_ = Kind::Bool;
+  v.bool_ = b;
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::string lexeme) {
+  JsonValue v;
+  v.kind_ = Kind::Number;
+  v.scalar_ = std::move(lexeme);
+  return v;
+}
+
+JsonValue JsonValue::make_number(std::int64_t n) { return make_number(std::to_string(n)); }
+
+JsonValue JsonValue::make_number(double d) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", d);
+  return make_number(std::string(buf));
+}
+
+JsonValue JsonValue::make_string(std::string s) {
+  JsonValue v;
+  v.kind_ = Kind::String;
+  v.scalar_ = std::move(s);
+  return v;
+}
+
+JsonValue JsonValue::make_array(std::vector<JsonValue> items) {
+  JsonValue v;
+  v.kind_ = Kind::Array;
+  v.items_ = std::move(items);
+  return v;
+}
+
+JsonValue JsonValue::make_object() {
+  JsonValue v;
+  v.kind_ = Kind::Object;
+  return v;
+}
+
+bool JsonValue::as_bool() const {
+  if (kind_ != Kind::Bool) kind_error("a bool");
+  return bool_;
+}
+
+std::int64_t JsonValue::as_int() const {
+  if (kind_ != Kind::Number) kind_error("a number");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(scalar_.c_str(), &end, 10);
+  if (errno == ERANGE || end == scalar_.c_str() || *end != '\0') {
+    throw ParseError("json: number '" + scalar_ + "' is not a 64-bit integer");
+  }
+  return v;
+}
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::Number) kind_error("a number");
+  return std::strtod(scalar_.c_str(), nullptr);
+}
+
+const std::string& JsonValue::as_string() const {
+  if (kind_ != Kind::String) kind_error("a string");
+  return scalar_;
+}
+
+const std::vector<JsonValue>& JsonValue::items() const {
+  if (kind_ != Kind::Array) kind_error("an array");
+  return items_;
+}
+
+const std::vector<std::pair<std::string, JsonValue>>& JsonValue::members() const {
+  if (kind_ != Kind::Object) kind_error("an object");
+  return members_;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const noexcept {
+  if (kind_ != Kind::Object) return nullptr;
+  for (const auto& [k, v] : members_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void JsonValue::push_back(JsonValue item) {
+  if (kind_ != Kind::Array) kind_error("an array");
+  items_.push_back(std::move(item));
+}
+
+void JsonValue::set(std::string key, JsonValue value) {
+  if (kind_ != Kind::Object) kind_error("an object");
+  members_.emplace_back(std::move(key), std::move(value));
+}
+
+std::string JsonValue::dump() const {
+  switch (kind_) {
+    case Kind::Null: return "null";
+    case Kind::Bool: return bool_ ? "true" : "false";
+    case Kind::Number: return scalar_;
+    case Kind::String: return json_quote(scalar_);
+    case Kind::Array: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += items_[i].dump();
+      }
+      return out + "]";
+    }
+    case Kind::Object: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ",";
+        out += json_quote(members_[i].first) + ":" + members_[i].second.dump();
+      }
+      return out + "}";
+    }
+  }
+  return "null";
+}
+
+JsonValue parse_json(std::string_view text) { return Parser(text).parse_document(); }
+
+}  // namespace scada::io

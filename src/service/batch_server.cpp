@@ -1,0 +1,282 @@
+#include "scada/service/batch_server.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <deque>
+#include <istream>
+#include <ostream>
+
+#include "scada/core/case_study.hpp"
+#include "scada/io/case_format.hpp"
+#include "scada/synth/generator.hpp"
+#include "scada/util/error.hpp"
+
+namespace scada::service {
+namespace {
+
+using io::JsonValue;
+
+std::string id_of(const JsonValue& request) {
+  const JsonValue* id = request.find("id");
+  return id != nullptr ? id->dump() : "null";
+}
+
+core::Property parse_property(const std::string& name) {
+  if (name == "observability") return core::Property::Observability;
+  if (name == "secured_observability" || name == "secured-observability") {
+    return core::Property::SecuredObservability;
+  }
+  if (name == "bad_data_detectability" || name == "bad-data-detectability") {
+    return core::Property::BadDataDetectability;
+  }
+  throw ParseError("unknown property '" + name + "'");
+}
+
+core::ResiliencySpec parse_spec(const JsonValue& spec_json) {
+  if (!spec_json.is_object()) throw ParseError("'spec' must be an object");
+  core::ResiliencySpec spec;
+  if (const JsonValue* k = spec_json.find("k")) spec.k_total = static_cast<int>(k->as_int());
+  if (const JsonValue* k1 = spec_json.find("k1")) spec.k_ied = static_cast<int>(k1->as_int());
+  if (const JsonValue* k2 = spec_json.find("k2")) spec.k_rtu = static_cast<int>(k2->as_int());
+  if (const JsonValue* r = spec_json.find("r")) spec.r = static_cast<int>(r->as_int());
+  if (!spec.k_total && !spec.k_ied && !spec.k_rtu) {
+    throw ParseError("'spec' needs at least one of k, k1, k2");
+  }
+  return spec;
+}
+
+smt::Backend parse_backend(const std::string& name) {
+  if (name == "cdcl") return smt::Backend::Cdcl;
+  if (name == "z3") return smt::Backend::Z3;
+  throw ParseError("unknown backend '" + name + "'");
+}
+
+}  // namespace
+
+BatchServer::BatchServer(ServerOptions options)
+    : options_(options), scheduler_(options.scheduler) {}
+
+std::shared_ptr<const core::ScadaScenario> BatchServer::resolve_scenario(
+    const JsonValue& source) {
+  if (!source.is_object()) throw ParseError("'scenario' must be an object");
+  // Memoized by the serialized source spec: one parse/generation per
+  // distinct fleet member per server lifetime.
+  const std::string memo_key = source.dump();
+  if (const auto hit = scenario_memo_.find(memo_key); hit != scenario_memo_.end()) {
+    return hit->second;
+  }
+
+  std::shared_ptr<const core::ScadaScenario> scenario;
+  if (const JsonValue* builtin = source.find("builtin")) {
+    const std::string& name = builtin->as_string();
+    if (name == "case_study_fig3" || name == "case_study") {
+      scenario = std::make_shared<core::ScadaScenario>(
+          core::make_case_study(core::CaseStudyTopology::Fig3));
+    } else if (name == "case_study_fig4") {
+      scenario = std::make_shared<core::ScadaScenario>(
+          core::make_case_study(core::CaseStudyTopology::Fig4));
+    } else {
+      throw ParseError("unknown builtin scenario '" + name + "'");
+    }
+  } else if (const JsonValue* case_text = source.find("case")) {
+    scenario = std::make_shared<core::ScadaScenario>(
+        io::read_case_string(case_text->as_string()).scenario);
+  } else if (const JsonValue* synth = source.find("synth")) {
+    if (!synth->is_object()) throw ParseError("'synth' must be an object");
+    synth::SynthConfig config;
+    if (const JsonValue* v = synth->find("buses")) config.buses = static_cast<int>(v->as_int());
+    if (const JsonValue* v = synth->find("seed")) {
+      config.seed = static_cast<std::uint64_t>(v->as_int());
+    }
+    if (const JsonValue* v = synth->find("hierarchy")) {
+      config.hierarchy_level = static_cast<int>(v->as_int());
+    }
+    if (const JsonValue* v = synth->find("measurement_fraction")) {
+      config.measurement_fraction = v->as_double();
+    }
+    if (const JsonValue* v = synth->find("rtus_per_bus")) config.rtus_per_bus = v->as_double();
+    if (const JsonValue* v = synth->find("secured_hop_fraction")) {
+      config.secured_hop_fraction = v->as_double();
+    }
+    scenario = std::make_shared<core::ScadaScenario>(synth::generate_scenario(config));
+  } else {
+    throw ParseError("'scenario' needs one of builtin, case, synth");
+  }
+  scenario_memo_.emplace(memo_key, scenario);
+  return scenario;
+}
+
+BatchServer::Submitted BatchServer::submit_job(const JsonValue& request) {
+  Submitted out;
+  out.id_json = id_of(request);
+
+  const JsonValue* op = request.find("op");
+  const std::string op_name = op != nullptr ? op->as_string() : "verify";
+  out.kind = op_name == "enumerate" ? JobKind::EnumerateThreats : JobKind::Verify;
+
+  const JsonValue* scenario_json = request.find("scenario");
+  if (scenario_json == nullptr) throw ParseError("request needs a 'scenario'");
+  const JsonValue* spec_json = request.find("spec");
+  if (spec_json == nullptr) throw ParseError("request needs a 'spec'");
+
+  JobRequest job;
+  job.kind = out.kind;
+  job.scenario = resolve_scenario(*scenario_json);
+  if (const JsonValue* p = request.find("property")) {
+    out.property = parse_property(p->as_string());
+  }
+  job.property = out.property;
+  out.spec = parse_spec(*spec_json);
+  job.spec = out.spec;
+
+  job.options.solver.backend = options_.default_backend;
+  if (const JsonValue* b = request.find("backend")) {
+    job.options.solver.backend = parse_backend(b->as_string());
+  }
+  if (const JsonValue* v = request.find("certify")) job.options.certify = v->as_bool();
+  if (const JsonValue* v = request.find("minimize")) job.options.minimize_threats = v->as_bool();
+  if (const JsonValue* v = request.find("links_can_fail")) {
+    job.options.encoder.links_can_fail = v->as_bool();
+  }
+  if (const JsonValue* v = request.find("max_conflicts")) {
+    job.options.solver.max_conflicts = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const JsonValue* v = request.find("max_vectors")) {
+    job.max_vectors = static_cast<std::size_t>(v->as_int());
+  }
+  if (const JsonValue* v = request.find("minimal_only")) job.minimal_only = v->as_bool();
+  if (const JsonValue* v = request.find("priority")) {
+    job.priority = static_cast<int>(v->as_int());
+  }
+  if (const JsonValue* v = request.find("deadline_ms")) job.deadline_ms = v->as_double();
+
+  out.ticket = scheduler_.submit(std::move(job));
+  return out;
+}
+
+std::string BatchServer::render_outcome(const Submitted& submitted,
+                                        const JobOutcome& outcome) const {
+  std::string line = "{\"id\":" + submitted.id_json + ",\"ok\":true,\"op\":" +
+                     io::json_quote(to_string(submitted.kind)) +
+                     ",\"status\":" + io::json_quote(to_string(outcome.status)) +
+                     ",\"cache_hit\":" + (outcome.cache_hit ? "true" : "false") +
+                     ",\"coalesced\":" + (outcome.coalesced ? "true" : "false") +
+                     ",\"fingerprint\":" + io::json_quote(outcome.fingerprint);
+  char timing[96];
+  std::snprintf(timing, sizeof timing, ",\"queue_ms\":%.3f,\"run_ms\":%.3f", outcome.queue_ms,
+                outcome.run_ms);
+  line += timing;
+  line += ",\"verification\":" + io::verification_to_json(submitted.property, submitted.spec,
+                                                          outcome.analysis.verdict);
+  if (submitted.kind == JobKind::EnumerateThreats) {
+    line += ",\"threat_count\":" + std::to_string(outcome.analysis.threats.size());
+    line += ",\"threats\":" + io::threats_to_json(outcome.analysis.threats);
+  }
+  if (!outcome.diagnostics.empty()) {
+    line += ",\"diagnostics\":" + io::json_quote(outcome.diagnostics);
+  }
+  return line + "}";
+}
+
+std::string BatchServer::render_stats(const std::string& id_json) {
+  const CacheStats cache = scheduler_.cache().stats();
+  char cache_json[256];
+  std::snprintf(cache_json, sizeof cache_json,
+                "{\"hits\":%llu,\"misses\":%llu,\"insertions\":%llu,\"evictions\":%llu,"
+                "\"hit_rate\":%.4f}",
+                static_cast<unsigned long long>(cache.hits),
+                static_cast<unsigned long long>(cache.misses),
+                static_cast<unsigned long long>(cache.insertions),
+                static_cast<unsigned long long>(cache.evictions), cache.hit_rate());
+  return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"stats\",\"cache\":" + cache_json +
+         ",\"metrics\":" + scheduler_.metrics().to_json() + "}";
+}
+
+std::string BatchServer::render_error(const std::string& id_json, const std::string& message) {
+  return "{\"id\":" + id_json + ",\"ok\":false,\"error\":" + io::json_quote(message) + "}";
+}
+
+std::string BatchServer::handle_line(const std::string& line) {
+  std::string id_json = "null";
+  try {
+    const JsonValue request = io::parse_json(line);
+    if (!request.is_object()) throw ParseError("request must be a JSON object");
+    id_json = id_of(request);
+    const JsonValue* op = request.find("op");
+    const std::string op_name = op != nullptr ? op->as_string() : "verify";
+    if (op_name == "stats") return render_stats(id_json);
+    if (op_name == "barrier") {
+      return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"barrier\"}";
+    }
+    if (op_name == "shutdown") {
+      return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"shutdown\"}";
+    }
+    if (op_name != "verify" && op_name != "enumerate") {
+      throw ParseError("unknown op '" + op_name + "'");
+    }
+    const Submitted submitted = submit_job(request);
+    JobOutcome outcome = submitted.ticket.outcome.get();
+    outcome.coalesced = submitted.ticket.coalesced;
+    return render_outcome(submitted, outcome);
+  } catch (const std::exception& e) {
+    return render_error(id_json, e.what());
+  }
+}
+
+std::size_t BatchServer::serve(std::istream& in, std::ostream& out) {
+  std::size_t served = 0;
+  std::deque<Submitted> pending;  // request-order responses not yet written
+
+  const auto flush_ready = [&](bool wait_all) {
+    while (!pending.empty()) {
+      const Submitted& head = pending.front();
+      if (!wait_all &&
+          head.ticket.outcome.wait_for(std::chrono::seconds(0)) != std::future_status::ready) {
+        return;
+      }
+      JobOutcome outcome = head.ticket.outcome.get();
+      outcome.coalesced = head.ticket.coalesced;
+      out << render_outcome(head, outcome) << "\n" << std::flush;
+      pending.pop_front();
+    }
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    ++served;
+    std::string id_json = "null";
+    try {
+      const JsonValue request = io::parse_json(line);
+      if (!request.is_object()) throw ParseError("request must be a JSON object");
+      id_json = id_of(request);
+      const JsonValue* op = request.find("op");
+      const std::string op_name = op != nullptr ? op->as_string() : "verify";
+      if (op_name == "verify" || op_name == "enumerate") {
+        pending.push_back(submit_job(request));
+        flush_ready(/*wait_all=*/false);  // stream completed heads
+        continue;
+      }
+      // Control ops act as barriers: all prior responses land first, so a
+      // "stats" reply reflects every job submitted before it.
+      flush_ready(/*wait_all=*/true);
+      if (op_name == "stats") {
+        out << render_stats(id_json) << "\n" << std::flush;
+      } else if (op_name == "barrier") {
+        out << "{\"id\":" << id_json << ",\"ok\":true,\"op\":\"barrier\"}\n" << std::flush;
+      } else if (op_name == "shutdown") {
+        out << "{\"id\":" << id_json << ",\"ok\":true,\"op\":\"shutdown\"}\n" << std::flush;
+        return served;
+      } else {
+        throw ParseError("unknown op '" + op_name + "'");
+      }
+    } catch (const std::exception& e) {
+      flush_ready(/*wait_all=*/true);
+      out << render_error(id_json, e.what()) << "\n" << std::flush;
+    }
+  }
+  flush_ready(/*wait_all=*/true);
+  return served;
+}
+
+}  // namespace scada::service

@@ -1,0 +1,302 @@
+#include "scada/service/job_scheduler.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "scada/util/error.hpp"
+#include "scada/util/logging.hpp"
+#include "scada/util/timer.hpp"
+
+namespace scada::service {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point from,
+                  std::chrono::steady_clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+}  // namespace
+
+const char* to_string(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::Done: return "done";
+    case JobStatus::TimedOut: return "timeout";
+    case JobStatus::Cancelled: return "cancelled";
+    case JobStatus::Failed: return "failed";
+  }
+  return "?";
+}
+
+JobScheduler::JobScheduler(SchedulerOptions options, util::MetricsRegistry* metrics)
+    : options_(options),
+      owned_metrics_(metrics == nullptr ? std::make_unique<util::MetricsRegistry>() : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      cache_(options.cache_capacity, metrics_),
+      watchdog_([this] { watchdog_loop(); }),
+      pool_(std::make_unique<util::ThreadPool>(options.threads)) {}
+
+JobScheduler::~JobScheduler() {
+  // Drain the pool first: its destructor runs every queued thunk, so every
+  // promise is fulfilled before the queues/cache/metrics go away.
+  pool_.reset();
+  {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    watchdog_stop_ = true;
+  }
+  watchdog_cv_.notify_all();
+  watchdog_.join();
+}
+
+std::shared_ptr<const std::string> JobScheduler::scenario_blob(
+    const std::shared_ptr<const core::ScadaScenario>& scenario) {
+  {
+    const std::lock_guard<std::mutex> lock(blob_mutex_);
+    if (const auto hit = blobs_.find(scenario.get()); hit != blobs_.end()) {
+      return hit->second.second;
+    }
+  }
+  auto blob = std::make_shared<const std::string>(scenario_fingerprint_blob(*scenario));
+  const std::lock_guard<std::mutex> lock(blob_mutex_);
+  // A fleet audit touches few distinct scenarios; bound the memo anyway so
+  // a pathological client cannot grow it without limit.
+  if (blobs_.size() >= 256) blobs_.clear();
+  blobs_.emplace(scenario.get(), std::make_pair(scenario, blob));
+  return blob;
+}
+
+JobScheduler::Ticket JobScheduler::submit(JobRequest request) {
+  if (!request.scenario) throw ConfigError("JobScheduler::submit: request has no scenario");
+
+  // Fingerprint outside the queue lock. The scenario serialization — the
+  // expensive part of keying — is memoized per scenario object, so repeat
+  // submissions against the same scenario key in microseconds.
+  const std::shared_ptr<const std::string> blob = scenario_blob(request.scenario);
+  JobKey key = make_job_key(*blob, request.kind, request.property, request.spec, request.options,
+                            request.max_vectors, request.minimal_only);
+  const Clock::time_point now = Clock::now();
+
+  StatePtr job;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const auto hit = inflight_.find(key.canonical); hit != inflight_.end()) {
+      metrics_->counter("scheduler.jobs_coalesced").inc();
+      Ticket t;
+      t.job_id = hit->second->id;
+      t.outcome = hit->second->future;
+      t.coalesced = true;
+      return t;
+    }
+    job = std::make_shared<JobState>();
+    job->id = next_id_++;
+    job->seq = next_seq_++;
+    job->request = std::move(request);
+    job->key = std::move(key);
+    job->submitted = now;
+    if (job->request.deadline_ms) {
+      job->deadline = now + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double, std::milli>(
+                                    std::max(0.0, *job->request.deadline_ms)));
+    }
+    job->future = job->promise.get_future().share();
+    pending_.push(job);
+    inflight_.emplace(job->key.canonical, job);
+    by_id_.emplace(job->id, job);
+  }
+
+  metrics_->counter("scheduler.jobs_submitted").inc();
+  metrics_->gauge("scheduler.queue_depth").add(1);
+  if (job->deadline) register_deadline(job);
+  // One pool thunk per unique job; the thunk pops the globally
+  // highest-priority pending job, which need not be this one.
+  (void)pool_->submit([this] { run_next(); });
+
+  Ticket t;
+  t.job_id = job->id;
+  t.outcome = job->future;
+  return t;
+}
+
+bool JobScheduler::cancel(std::uint64_t job_id) {
+  StatePtr job;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = by_id_.find(job_id);
+    if (it == by_id_.end()) return false;
+    job = it->second;
+  }
+  if (job->finished.load()) return false;
+  job->user_cancelled.store(true);
+  job->token.cancel();
+  metrics_->counter("scheduler.cancel_requests").inc();
+  return true;
+}
+
+void JobScheduler::register_deadline(const StatePtr& job) {
+  {
+    const std::lock_guard<std::mutex> lock(watchdog_mutex_);
+    deadlines_.emplace_back(*job->deadline, job);
+    std::push_heap(deadlines_.begin(), deadlines_.end(),
+                   [](const auto& a, const auto& b) { return a.first > b.first; });
+  }
+  watchdog_cv_.notify_all();
+}
+
+void JobScheduler::watchdog_loop() {
+  const auto heap_greater = [](const auto& a, const auto& b) { return a.first > b.first; };
+  std::unique_lock<std::mutex> lock(watchdog_mutex_);
+  for (;;) {
+    if (watchdog_stop_) return;
+    if (deadlines_.empty()) {
+      watchdog_cv_.wait(lock);
+      continue;
+    }
+    const Clock::time_point next = deadlines_.front().first;
+    if (Clock::now() < next) {
+      watchdog_cv_.wait_until(lock, next);
+      continue;
+    }
+    std::pop_heap(deadlines_.begin(), deadlines_.end(), heap_greater);
+    const StatePtr job = std::move(deadlines_.back().second);
+    deadlines_.pop_back();
+    if (!job->finished.load()) {
+      job->deadline_hit.store(true);
+      job->token.cancel();
+      metrics_->counter("scheduler.deadline_expiries").inc();
+    }
+  }
+}
+
+void JobScheduler::run_next() {
+  StatePtr job;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (pending_.empty()) return;  // defensive: one thunk per job
+    job = pending_.top();
+    pending_.pop();
+  }
+  metrics_->gauge("scheduler.queue_depth").sub(1);
+  metrics_->gauge("scheduler.running").add(1);
+
+  const Clock::time_point started = Clock::now();
+  JobOutcome out;
+  out.fingerprint = job->key.fingerprint_hex();
+  out.queue_ms = ms_between(job->submitted, started);
+  metrics_->histogram("scheduler.queue_ms").record(out.queue_ms);
+
+  if (job->token.cancelled()) {
+    // Expired (or was cancelled) while still queued — degrade gracefully
+    // without spending a worker on a doomed solve.
+    out.analysis.kind = job->request.kind;
+    if (job->user_cancelled.load()) {
+      out.status = JobStatus::Cancelled;
+      out.diagnostics = "cancelled before execution";
+    } else {
+      out.status = JobStatus::TimedOut;
+      out.diagnostics = "deadline expired after " + std::to_string(out.queue_ms) +
+                        " ms in queue, before execution started";
+    }
+  } else {
+    execute(job, out);
+  }
+  out.run_ms = ms_between(started, Clock::now());
+  finish(job, std::move(out));
+}
+
+void JobScheduler::execute(const StatePtr& job, JobOutcome& out) {
+  const JobRequest& req = job->request;
+  out.analysis.kind = req.kind;
+
+  // A twin job may have published its answer between submit and now.
+  if (std::optional<CachedAnalysis> cached = cache_.lookup(job->key)) {
+    out.status = JobStatus::Done;
+    out.analysis = std::move(*cached);
+    out.cache_hit = true;
+    metrics_->histogram("scheduler.cache_hit_ms").record(ms_between(job->submitted, Clock::now()));
+    return;
+  }
+
+  core::AnalyzerOptions options = req.options;
+  options.interrupt = job->token.flag();
+  try {
+    core::ScadaAnalyzer analyzer(*req.scenario, options);
+    if (req.kind == JobKind::Verify) {
+      out.analysis.verdict = analyzer.verify(req.property, req.spec);
+    } else {
+      out.analysis.threats =
+          analyzer.enumerate_threats(req.property, req.spec, req.max_vectors, req.minimal_only);
+      // Summary verdict of the threat space: Sat when non-empty, Unsat when
+      // the (uninterrupted) enumeration proved it empty, Unknown when the
+      // deadline cut the search short with nothing found yet.
+      if (!out.analysis.threats.empty()) {
+        out.analysis.verdict.result = smt::SolveResult::Sat;
+      } else {
+        out.analysis.verdict.result = job->token.cancelled() ? smt::SolveResult::Unknown
+                                                             : smt::SolveResult::Unsat;
+      }
+    }
+  } catch (const std::exception& e) {
+    out.status = JobStatus::Failed;
+    out.diagnostics = e.what();
+    out.analysis.verdict.result = smt::SolveResult::Unknown;
+    return;
+  }
+
+  // A verify whose solver still produced Sat/Unsat despite a late interrupt
+  // keeps its (valid) verdict. An interrupted enumeration cannot prove its
+  // space complete, so it degrades to a partial/unknown answer even when
+  // the interrupt landed after the last solve — Unknown is never wrong.
+  const bool unknown = out.analysis.verdict.result == smt::SolveResult::Unknown;
+  const bool enum_interrupted =
+      req.kind == JobKind::EnumerateThreats && job->token.cancelled();
+  if (unknown || enum_interrupted) {
+    if (job->user_cancelled.load()) {
+      out.status = JobStatus::Cancelled;
+      out.diagnostics = "cancelled mid-solve";
+    } else if (job->deadline_hit.load()) {
+      out.status = JobStatus::TimedOut;
+      out.diagnostics = "deadline of " + std::to_string(req.deadline_ms.value_or(0.0)) +
+                        " ms expired mid-solve; verdict unknown";
+    } else {
+      // Unknown without an interrupt: a solver resource budget
+      // (max_conflicts / z3 soft timeout) ran out.
+      out.status = JobStatus::TimedOut;
+      out.diagnostics = "solver budget exhausted; verdict unknown";
+    }
+    if (req.kind == JobKind::EnumerateThreats && !out.analysis.threats.empty()) {
+      out.diagnostics += "; partial threat space with " +
+                         std::to_string(out.analysis.threats.size()) + " vector(s)";
+      // A truncated enumeration is not the answer to the cache key — only
+      // complete threat spaces are publishable.
+      out.analysis.verdict.result = smt::SolveResult::Unknown;
+    }
+    return;
+  }
+
+  out.status = JobStatus::Done;
+  cache_.insert(job->key, out.analysis);
+}
+
+void JobScheduler::finish(const StatePtr& job, JobOutcome out) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.erase(job->key.canonical);
+    by_id_.erase(job->id);
+  }
+  job->finished.store(true);
+  metrics_->gauge("scheduler.running").sub(1);
+  metrics_->histogram("scheduler.run_ms").record(out.run_ms);
+  switch (out.status) {
+    case JobStatus::Done: metrics_->counter("scheduler.jobs_done").inc(); break;
+    case JobStatus::TimedOut: metrics_->counter("scheduler.jobs_timed_out").inc(); break;
+    case JobStatus::Cancelled: metrics_->counter("scheduler.jobs_cancelled").inc(); break;
+    case JobStatus::Failed: metrics_->counter("scheduler.jobs_failed").inc(); break;
+  }
+  if (out.status == JobStatus::Failed) {
+    SCADA_LOG(Warn) << "job " << job->id << " (" << job->key.fingerprint_hex()
+                    << ") failed: " << out.diagnostics;
+  }
+  job->promise.set_value(std::move(out));
+}
+
+}  // namespace scada::service

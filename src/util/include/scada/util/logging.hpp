@@ -2,8 +2,13 @@
 //
 // The analyzer is a library first; logging defaults to Warn so that embedding
 // applications stay quiet, while benchmarks/examples can raise verbosity.
+//
+// Thread safety: log_line() serializes sink invocations behind one global
+// mutex, so concurrent scheduler workers never interleave partial lines, and
+// a sink swapped in mid-stream never races an in-flight write.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,11 +16,20 @@ namespace scada::util {
 
 enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
 
-/// Global log threshold (process-wide; not synchronized — set it at startup).
+/// Global log threshold (process-wide, atomic — safe to change at runtime).
 void set_log_level(LogLevel level) noexcept;
 [[nodiscard]] LogLevel log_level() noexcept;
 
-/// Writes one formatted line to stderr if `level` passes the threshold.
+/// Receives one complete formatted line (no trailing newline). Called with
+/// the logging mutex held — keep sinks fast and non-reentrant.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Swaps the process-wide sink; an empty function restores the stderr
+/// default. The swap synchronizes with concurrent log_line() calls.
+void set_log_sink(LogSink sink);
+
+/// Writes one formatted line to the current sink if `level` passes the
+/// threshold.
 void log_line(LogLevel level, const std::string& msg);
 
 namespace detail {

@@ -2,11 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace scada::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+
+// One mutex guards both the sink pointer and every sink invocation: a line
+// is formatted by the caller, but the write itself happens under the lock,
+// so two workers logging at once produce two whole lines in some order,
+// never an interleaving, and set_log_sink() cannot destroy a sink that a
+// concurrent log_line() is still executing.
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+LogSink& sink_slot() {
+  static LogSink sink;  // empty = stderr default
+  return sink;
+}
 
 const char* level_name(LogLevel level) noexcept {
   switch (level) {
@@ -25,9 +41,20 @@ void set_log_level(LogLevel level) noexcept { g_level.store(level, std::memory_o
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
 void log_line(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;
-  std::fprintf(stderr, "[scada:%s] %s\n", level_name(level), msg.c_str());
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  const LogSink& sink = sink_slot();
+  if (sink) {
+    sink(level, msg);
+  } else {
+    std::fprintf(stderr, "[scada:%s] %s\n", level_name(level), msg.c_str());
+  }
 }
 
 }  // namespace scada::util

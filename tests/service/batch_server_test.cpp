@@ -1,0 +1,196 @@
+#include "scada/service/batch_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scada/core/case_study.hpp"
+#include "scada/io/case_format.hpp"
+#include "scada/io/json.hpp"
+
+namespace scada::service {
+namespace {
+
+/// Parses a response line and asserts it is a well-formed JSON object.
+io::JsonValue response(BatchServer& server, const std::string& line) {
+  const std::string out = server.handle_line(line);
+  EXPECT_FALSE(out.empty());
+  return io::parse_json(out);
+}
+
+const io::JsonValue& field(const io::JsonValue& v, const char* key) {
+  const io::JsonValue* f = v.find(key);
+  EXPECT_NE(f, nullptr) << "missing field: " << key;
+  return *f;
+}
+
+TEST(BatchServerTest, VerifyUnsatOnCaseStudy) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"id":1,"op":"verify","scenario":{"builtin":"case_study_fig3"},)"
+      R"("property":"observability","spec":{"k1":1,"k2":1}})");
+  EXPECT_TRUE(field(r, "ok").as_bool());
+  EXPECT_EQ(field(r, "id").as_int(), 1);
+  EXPECT_EQ(field(r, "status").as_string(), "done");
+  EXPECT_FALSE(field(r, "cache_hit").as_bool());
+  const io::JsonValue& verification = field(r, "verification");
+  EXPECT_EQ(field(verification, "result").as_string(), "unsat");
+  EXPECT_TRUE(field(verification, "resilient").as_bool());
+}
+
+TEST(BatchServerTest, RepeatRequestIsServedFromCache) {
+  BatchServer server;
+  const std::string line =
+      R"({"id":"a","op":"verify","scenario":{"builtin":"case_study_fig3"},)"
+      R"("property":"observability","spec":{"k1":1,"k2":1}})";
+  (void)response(server, line);
+  const io::JsonValue warm = response(server, line);
+  EXPECT_TRUE(field(warm, "cache_hit").as_bool());
+  EXPECT_EQ(field(warm, "id").as_string(), "a");  // string ids echo as strings
+  EXPECT_EQ(field(field(warm, "verification"), "result").as_string(), "unsat");
+}
+
+TEST(BatchServerTest, SatVerdictIncludesTheWitnessThreat) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"id":2,"op":"verify","scenario":{"builtin":"case_study_fig3"},)"
+      R"("property":"observability","spec":{"k1":2,"k2":1}})");
+  const io::JsonValue& verification = field(r, "verification");
+  EXPECT_EQ(field(verification, "result").as_string(), "sat");
+  EXPECT_FALSE(field(verification, "threat").is_null());
+}
+
+TEST(BatchServerTest, EnumerateReturnsThreatSpace) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"id":3,"op":"enumerate","scenario":{"builtin":"case_study_fig3"},)"
+      R"("property":"observability","spec":{"k1":2,"k2":1},"max_vectors":8})");
+  EXPECT_TRUE(field(r, "ok").as_bool());
+  EXPECT_EQ(field(r, "status").as_string(), "done");
+  const io::JsonValue& threats = field(r, "threats");
+  EXPECT_GT(threats.items().size(), 0u);
+  EXPECT_EQ(static_cast<std::size_t>(field(r, "threat_count").as_int()), threats.items().size());
+  EXPECT_NE(threats.items().front().find("failed_ieds"), nullptr);
+}
+
+TEST(BatchServerTest, CaseTextScenarioMatchesBuiltin) {
+  BatchServer server;
+  const std::string case_text = io::write_case_string(core::make_case_study());
+  io::JsonValue request = io::parse_json(
+      R"({"id":4,"op":"verify","property":"observability","spec":{"k1":1,"k2":1}})");
+  io::JsonValue scenario = io::JsonValue::make_object();
+  scenario.set("case", io::JsonValue::make_string(case_text));
+  request.set("scenario", std::move(scenario));
+
+  const io::JsonValue r = response(server, request.dump());
+  EXPECT_TRUE(field(r, "ok").as_bool());
+  EXPECT_EQ(field(field(r, "verification"), "result").as_string(), "unsat");
+}
+
+TEST(BatchServerTest, SynthScenarioVerifies) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"id":5,"op":"verify","scenario":{"synth":{"buses":14,"seed":3}},)"
+      R"("property":"observability","spec":{"k":1}})");
+  EXPECT_TRUE(field(r, "ok").as_bool());
+  EXPECT_EQ(field(r, "status").as_string(), "done");
+}
+
+TEST(BatchServerTest, MalformedRequestsAreErrorsNotCrashes) {
+  BatchServer server;
+  const std::vector<std::string> bad = {
+      "not json at all",
+      R"({"op":"frobnicate"})",
+      R"({"op":"verify"})",  // no scenario
+      R"({"op":"verify","scenario":{"builtin":"no_such_system"},"spec":{"k":1}})",
+      R"({"op":"verify","scenario":{"builtin":"case_study_fig3"}})",  // no spec
+      R"({"op":"verify","scenario":{"builtin":"case_study_fig3"},)"
+      R"("property":"telepathy","spec":{"k":1}})",
+      R"({"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k":1},)"
+      R"("backend":"minisat"})",
+  };
+  for (const std::string& line : bad) {
+    const io::JsonValue r = response(server, line);
+    EXPECT_FALSE(field(r, "ok").as_bool()) << line;
+    EXPECT_FALSE(field(r, "error").as_string().empty()) << line;
+  }
+  // The server still works after a run of garbage.
+  const io::JsonValue ok = response(
+      server,
+      R"({"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k1":1,"k2":1}})");
+  EXPECT_TRUE(field(ok, "ok").as_bool());
+}
+
+TEST(BatchServerTest, StatsSnapshotsCacheAndScheduler) {
+  BatchServer server;
+  const std::string line =
+      R"({"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k1":1,"k2":1}})";
+  (void)response(server, line);
+  (void)response(server, line);
+
+  const io::JsonValue stats = response(server, R"({"id":"s","op":"stats"})");
+  EXPECT_TRUE(field(stats, "ok").as_bool());
+  EXPECT_EQ(field(stats, "op").as_string(), "stats");
+  EXPECT_EQ(field(field(stats, "cache"), "hits").as_int(), 1);
+  const io::JsonValue& metrics = field(stats, "metrics");
+  EXPECT_GE(field(field(metrics, "counters"), "scheduler.jobs_submitted").as_int(), 2);
+}
+
+TEST(BatchServerTest, ServeKeepsResponsesInRequestOrder) {
+  BatchServer server;
+  std::istringstream in(
+      R"({"id":10,"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k1":2,"k2":1}})"
+      "\n"
+      R"({"id":11,"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k1":1,"k2":1}})"
+      "\n"
+      R"({"id":"b","op":"barrier"})"
+      "\n"
+      R"({"id":12,"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k1":1,"k2":1}})"
+      "\n");
+  std::ostringstream out;
+  EXPECT_EQ(server.serve(in, out), 4u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  std::vector<std::string> ids;
+  while (std::getline(lines, line)) {
+    ids.push_back(field(io::parse_json(line), "id").dump());
+  }
+  EXPECT_EQ(ids, (std::vector<std::string>{"10", "11", "\"b\"", "12"}));
+}
+
+TEST(BatchServerTest, ShutdownStopsTheStream) {
+  BatchServer server;
+  std::istringstream in(
+      R"({"id":1,"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k1":1,"k2":1}})"
+      "\n"
+      R"({"op":"shutdown"})"
+      "\n"
+      R"({"id":2,"op":"verify","scenario":{"builtin":"case_study_fig3"},"spec":{"k1":1,"k2":1}})"
+      "\n");
+  std::ostringstream out;
+  // The post-shutdown request is never read.
+  EXPECT_EQ(server.serve(in, out), 2u);
+  EXPECT_EQ(out.str().find("\"id\":2"), std::string::npos);
+}
+
+TEST(BatchServerTest, DeadlineDegradesToTimeoutResponse) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"id":9,"op":"enumerate","scenario":{"synth":{"buses":30,"seed":7}},)"
+      R"("property":"observability","spec":{"k":2},"max_vectors":64,"deadline_ms":0.01})");
+  EXPECT_TRUE(field(r, "ok").as_bool());
+  EXPECT_EQ(field(r, "status").as_string(), "timeout");
+  EXPECT_EQ(field(field(r, "verification"), "result").as_string(), "unknown");
+  EXPECT_FALSE(field(r, "diagnostics").as_string().empty());
+}
+
+}  // namespace
+}  // namespace scada::service

@@ -10,12 +10,22 @@
 // derivations are streamed to FILE; on an unsat instance the resulting proof
 // is checkable with drat_check (or any external DRAT checker).
 //
+// With --timeout-ms N a watchdog thread raises the solver's cooperative
+// interrupt flag (the same hook Session::set_interrupt wires for the
+// analyzer) after N milliseconds; an expired budget reports the
+// SAT-competition unknown convention: "s UNKNOWN", exit 0.
+//
 // Exit codes follow the SAT-competition convention: 10 sat, 20 unsat,
 // 0 unknown, 1 usage/parse error.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
+#include <thread>
 
 #include "scada/smt/cdcl.hpp"
 #include "scada/smt/dimacs.hpp"
@@ -27,12 +37,40 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--proof FILE | --binary-proof FILE] <dimacs.cnf>\n"
+               "usage: %s [--proof FILE | --binary-proof FILE] [--timeout-ms N] <dimacs.cnf>\n"
                "  --proof FILE         stream a text DRAT proof to FILE\n"
-               "  --binary-proof FILE  stream a binary DRAT proof to FILE\n",
+               "  --binary-proof FILE  stream a binary DRAT proof to FILE\n"
+               "  --timeout-ms N       give up after N ms with 's UNKNOWN' (exit 0)\n",
                argv0);
   return 1;
 }
+
+/// Sets `flag` after `ms` milliseconds unless disarm() is called first.
+class Watchdog {
+ public:
+  Watchdog(std::atomic<bool>& flag, long long ms)
+      : thread_([this, &flag, ms] {
+          std::unique_lock<std::mutex> lock(mutex_);
+          if (!cv_.wait_for(lock, std::chrono::milliseconds(ms), [this] { return disarmed_; })) {
+            flag.store(true, std::memory_order_relaxed);
+          }
+        }) {}
+
+  ~Watchdog() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
 
 }  // namespace
 
@@ -42,11 +80,16 @@ int main(int argc, char** argv) {
   const char* cnf_path = nullptr;
   const char* proof_path = nullptr;
   bool binary_proof = false;
+  long long timeout_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--proof") == 0 || std::strcmp(argv[i], "--binary-proof") == 0) {
       if (i + 1 >= argc || proof_path != nullptr) return usage(argv[0]);
       binary_proof = std::strcmp(argv[i], "--binary-proof") == 0;
       proof_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      timeout_ms = std::atoll(argv[++i]);
+      if (timeout_ms <= 0) return usage(argv[0]);
     } else if (cnf_path == nullptr) {
       cnf_path = argv[i];
     } else {
@@ -77,8 +120,16 @@ int main(int argc, char** argv) {
     solver.ensure_var(instance.num_vars);
     for (const Clause& clause : instance.clauses) solver.add_clause(clause);
 
+    std::atomic<bool> interrupt{false};
+    std::unique_ptr<Watchdog> watchdog;
+    if (timeout_ms > 0) {
+      solver.set_interrupt(&interrupt);
+      watchdog = std::make_unique<Watchdog>(interrupt, timeout_ms);
+    }
+
     scada::util::WallTimer timer;
     const SolveResult result = solver.solve();
+    watchdog.reset();  // disarm before reporting
     std::printf("c vars=%d clauses=%zu time=%.3fs conflicts=%llu decisions=%llu\n",
                 instance.num_vars, instance.clauses.size(), timer.seconds(),
                 static_cast<unsigned long long>(solver.stats().conflicts),

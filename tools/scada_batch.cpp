@@ -1,0 +1,209 @@
+// scada_batch: load generator / replay client for the fleet-audit service.
+//
+// Default mode drives an in-process service::BatchServer with a synthetic
+// fleet-audit batch (a request mix over the §IV case study and a 30-bus
+// synthetic system), replays it `--passes` times, and reports per-pass wall
+// time, cache hit rate and the replay speedup — the measurement behind the
+// "second pass ≥ 90% cache hits, ≥ 5x faster" service acceptance gate,
+// checkable with --check.
+//
+//   $ ./scada_batch --requests 100 --passes 2 --check
+//   pass 1: 100 responses in 812.4 ms (hits 12/100)
+//   pass 2: 100 responses in 9.1 ms (hits 100/100)
+//   {"requests":100,"passes":2,...,"pass2_hit_rate":1.0,"speedup":89.3}
+//
+// With --emit the batch is printed as protocol lines instead (pipe into
+// scada_serve to exercise the real server process):
+//
+//   $ ./scada_batch --emit --requests 10 | ./scada_serve
+//
+// Exit codes: 0 ok; 2 when --check thresholds are violated; 1 usage error.
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scada/io/json.hpp"
+#include "scada/service/batch_server.hpp"
+#include "scada/util/rng.hpp"
+#include "scada/util/timer.hpp"
+
+namespace {
+
+using namespace scada;
+
+struct BatchConfig {
+  std::size_t requests = 100;
+  int passes = 2;
+  std::size_t threads = 0;
+  bool emit = false;
+  bool check = false;
+  double check_hit_rate = 0.9;
+  double check_speedup = 5.0;
+  std::uint64_t seed = 42;
+};
+
+/// One batch: a deterministic request mix over the case study (both
+/// topologies, several specs/properties) and a 30-bus synthetic system.
+/// Roughly 1-in-3 requests repeats an earlier scenario+spec combination, the
+/// dominant shape of security-index sweeps.
+std::vector<std::string> make_batch(const BatchConfig& config) {
+  const std::vector<std::string> scenarios = {
+      R"({"builtin":"case_study_fig3"})",
+      R"({"builtin":"case_study_fig4"})",
+      R"({"synth":{"buses":30,"seed":7}})",
+  };
+  const std::vector<std::string> properties = {"observability", "secured_observability"};
+  const std::vector<std::string> specs = {
+      R"({"k1":1,"k2":1})", R"({"k":1})", R"({"k":2})", R"({"k":3})", R"({"k1":2,"k2":0})",
+  };
+
+  util::Rng rng(config.seed);
+  std::vector<std::string> lines;
+  lines.reserve(config.requests);
+  for (std::size_t i = 0; i < config.requests; ++i) {
+    const auto& scenario = scenarios[rng.index(scenarios.size())];
+    const auto& property =
+        properties[rng.index(properties.size())];
+    const auto& spec = specs[rng.index(specs.size())];
+    std::ostringstream line;
+    line << "{\"id\":" << i << ",\"op\":\"verify\",\"scenario\":" << scenario
+         << ",\"property\":\"" << property << "\",\"spec\":" << spec << "}";
+    lines.push_back(line.str());
+  }
+  return lines;
+}
+
+struct PassResult {
+  double wall_ms = 0.0;
+  std::size_t responses = 0;
+  std::size_t cache_hits = 0;
+  std::size_t errors = 0;
+};
+
+PassResult run_pass(service::BatchServer& server, const std::vector<std::string>& lines) {
+  std::ostringstream batch;
+  for (const std::string& line : lines) batch << line << "\n";
+  std::istringstream in(batch.str());
+  std::ostringstream out;
+
+  util::WallTimer timer;
+  server.serve(in, out);
+  PassResult result;
+  result.wall_ms = timer.millis();
+
+  std::istringstream responses(out.str());
+  std::string line;
+  while (std::getline(responses, line)) {
+    ++result.responses;
+    const io::JsonValue response = io::parse_json(line);
+    const io::JsonValue* ok = response.find("ok");
+    if (ok == nullptr || !ok->as_bool()) {
+      ++result.errors;
+      continue;
+    }
+    const io::JsonValue* hit = response.find("cache_hit");
+    if (hit != nullptr && hit->is_bool() && hit->as_bool()) ++result.cache_hits;
+  }
+  return result;
+}
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--requests N] [--passes N] [--threads N] [--seed N]\n"
+               "          [--emit] [--check] [--min-hit-rate X] [--min-speedup X]\n"
+               "  --emit   print the batch as protocol lines (pipe into scada_serve)\n"
+               "  --check  exit 2 unless the final pass meets the hit-rate and\n"
+               "           speedup thresholds (defaults 0.9 and 5.0)\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BatchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const auto num_arg = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    const char* v = nullptr;
+    if (std::strcmp(argv[i], "--requests") == 0) {
+      if ((v = num_arg()) == nullptr) return usage(argv[0]);
+      config.requests = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--passes") == 0) {
+      if ((v = num_arg()) == nullptr) return usage(argv[0]);
+      config.passes = std::atoi(v);
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      if ((v = num_arg()) == nullptr) return usage(argv[0]);
+      config.threads = static_cast<std::size_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      if ((v = num_arg()) == nullptr) return usage(argv[0]);
+      config.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (std::strcmp(argv[i], "--min-hit-rate") == 0) {
+      if ((v = num_arg()) == nullptr) return usage(argv[0]);
+      config.check_hit_rate = std::atof(v);
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0) {
+      if ((v = num_arg()) == nullptr) return usage(argv[0]);
+      config.check_speedup = std::atof(v);
+    } else if (std::strcmp(argv[i], "--emit") == 0) {
+      config.emit = true;
+    } else if (std::strcmp(argv[i], "--check") == 0) {
+      config.check = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (config.requests == 0 || config.passes < 1) return usage(argv[0]);
+
+  const std::vector<std::string> lines = make_batch(config);
+  if (config.emit) {
+    for (const std::string& line : lines) std::printf("%s\n", line.c_str());
+    return 0;
+  }
+
+  service::ServerOptions options;
+  options.scheduler.threads = config.threads;
+  service::BatchServer server(options);
+
+  std::vector<PassResult> passes;
+  for (int p = 1; p <= config.passes; ++p) {
+    const PassResult result = run_pass(server, lines);
+    std::fprintf(stderr, "pass %d: %zu responses in %.1f ms (hits %zu/%zu, errors %zu)\n", p,
+                 result.responses, result.wall_ms, result.cache_hits, result.responses,
+                 result.errors);
+    passes.push_back(result);
+  }
+
+  const PassResult& first = passes.front();
+  const PassResult& last = passes.back();
+  const double hit_rate =
+      last.responses == 0
+          ? 0.0
+          : static_cast<double>(last.cache_hits) / static_cast<double>(last.responses);
+  const double speedup = last.wall_ms > 0.0 ? first.wall_ms / last.wall_ms : 0.0;
+  std::printf(
+      "{\"requests\":%zu,\"passes\":%d,\"threads\":%zu,\"pass1_ms\":%.3f,\"pass_final_ms\":%.3f,"
+      "\"pass_final_hits\":%zu,\"pass_final_hit_rate\":%.4f,\"replay_speedup\":%.2f,"
+      "\"errors\":%zu}\n",
+      config.requests, config.passes, server.scheduler().threads(), first.wall_ms, last.wall_ms,
+      last.cache_hits, hit_rate, speedup, first.errors + last.errors);
+
+  if (config.check && config.passes >= 2) {
+    if (first.errors + last.errors > 0) {
+      std::fprintf(stderr, "check FAILED: %zu error response(s)\n", first.errors + last.errors);
+      return 2;
+    }
+    if (hit_rate < config.check_hit_rate) {
+      std::fprintf(stderr, "check FAILED: final-pass hit rate %.3f < %.3f\n", hit_rate,
+                   config.check_hit_rate);
+      return 2;
+    }
+    if (speedup < config.check_speedup) {
+      std::fprintf(stderr, "check FAILED: replay speedup %.2fx < %.2fx\n", speedup,
+                   config.check_speedup);
+      return 2;
+    }
+    std::fprintf(stderr, "check ok: hit rate %.3f, speedup %.2fx\n", hit_rate, speedup);
+  }
+  return 0;
+}

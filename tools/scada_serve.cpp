@@ -1,0 +1,69 @@
+// scada_serve: the fleet-audit batch analysis server.
+//
+// Speaks the line-delimited JSON protocol of service::BatchServer over
+// stdin/stdout (one request per line, one response per line, responses in
+// request order). See DESIGN.md §7 for the protocol grammar.
+//
+//   $ echo '{"id":1,"op":"verify","scenario":{"builtin":"case_study_fig3"},
+//            "property":"observability","spec":{"k1":1,"k2":1}}' | ./scada_serve
+//   {"id":1,"ok":true,"op":"verify","status":"done",...}
+//
+// Exit code 0 on EOF/shutdown, 1 on usage errors.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "scada/service/batch_server.hpp"
+#include "scada/util/logging.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--threads N] [--cache-capacity N] [--default-backend cdcl|z3] [-v]\n"
+               "  Serves line-delimited JSON analysis requests on stdin,\n"
+               "  one JSON response per line on stdout.\n",
+               argv0);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  scada::service::ServerOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const auto int_arg = [&](long long& out) {
+      if (i + 1 >= argc) return false;
+      out = std::atoll(argv[++i]);
+      return out >= 0;
+    };
+    long long n = 0;
+    if (std::strcmp(argv[i], "--threads") == 0) {
+      if (!int_arg(n)) return usage(argv[0]);
+      options.scheduler.threads = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
+      if (!int_arg(n)) return usage(argv[0]);
+      options.scheduler.cache_capacity = static_cast<std::size_t>(n);
+    } else if (std::strcmp(argv[i], "--default-backend") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      const char* name = argv[++i];
+      if (std::strcmp(name, "cdcl") == 0) {
+        options.default_backend = scada::smt::Backend::Cdcl;
+      } else if (std::strcmp(name, "z3") == 0) {
+        options.default_backend = scada::smt::Backend::Z3;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (std::strcmp(argv[i], "-v") == 0) {
+      scada::util::set_log_level(scada::util::LogLevel::Info);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  scada::service::BatchServer server(options);
+  const std::size_t served = server.serve(std::cin, std::cout);
+  SCADA_LOG(Info) << "scada_serve: " << served << " request(s) served";
+  return 0;
+}
