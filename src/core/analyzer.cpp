@@ -134,6 +134,7 @@ VerificationResult ScadaAnalyzer::verify(Property property, const ResiliencySpec
 
   out.result = session.solve();
   out.solve_seconds = session.stats().last_solve_seconds;
+  out.solver_stats = session.stats();
   out.certified = check_certificate(session);
   if (out.result == SolveResult::Sat) {
     ThreatVector v = extract_threat(encoder, session);

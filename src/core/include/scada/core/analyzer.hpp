@@ -46,6 +46,10 @@ struct VerificationResult {
   /// re-checked against its certificate (DRAT proof for unsat, model
   /// evaluation for sat) by the independent checker.
   bool certified = false;
+  /// Cumulative backend counters of the verifying session (CDCL backend;
+  /// includes the inprocessing counters — vars_eliminated etc. — that the
+  /// service layer exports as metrics).
+  smt::SessionStats solver_stats;
 
   /// Unsat certifies the resiliency specification.
   [[nodiscard]] bool resilient() const noexcept { return result == smt::SolveResult::Unsat; }

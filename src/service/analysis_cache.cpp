@@ -66,6 +66,7 @@ JobKey make_job_key(std::string_view scenario_blob, JobKind kind, core::Property
   key += "\nmax_conflicts=" + std::to_string(options.solver.max_conflicts);
   key += "\nz3_timeout_ms=" + std::to_string(options.solver.z3_timeout_ms);
   key += options.solver.certify ? "\ncertify=1" : "\ncertify=0";
+  key += options.solver.simplify ? "\nsimplify=1" : "\nsimplify=0";
   key += options.solver.z3_integer_cardinality ? "\nz3_intcard=1" : "\nz3_intcard=0";
   key += options.minimize_threats ? "\nminimize=1" : "\nminimize=0";
   key += options.certify ? "\nanalyzer_certify=1" : "\nanalyzer_certify=0";

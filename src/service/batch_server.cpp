@@ -134,6 +134,7 @@ BatchServer::Submitted BatchServer::submit_job(const JsonValue& request) {
     job.options.solver.backend = parse_backend(b->as_string());
   }
   if (const JsonValue* v = request.find("certify")) job.options.certify = v->as_bool();
+  if (const JsonValue* v = request.find("simplify")) job.options.solver.simplify = v->as_bool();
   if (const JsonValue* v = request.find("minimize")) job.options.minimize_threats = v->as_bool();
   if (const JsonValue* v = request.find("links_can_fail")) {
     job.options.encoder.links_can_fail = v->as_bool();

@@ -222,6 +222,14 @@ void JobScheduler::execute(const StatePtr& job, JobOutcome& out) {
     core::ScadaAnalyzer analyzer(*req.scenario, options);
     if (req.kind == JobKind::Verify) {
       out.analysis.verdict = analyzer.verify(req.property, req.spec);
+      // Fleet-wide inprocessing effectiveness, scraped alongside the
+      // scheduler counters (how much of the Tseitin output BVE removes).
+      const smt::SessionStats& ss = out.analysis.verdict.solver_stats;
+      metrics_->counter("solver.vars_eliminated").inc(ss.vars_eliminated);
+      metrics_->counter("solver.clauses_subsumed").inc(ss.clauses_subsumed);
+      metrics_->counter("solver.clauses_strengthened").inc(ss.clauses_strengthened);
+      metrics_->counter("solver.failed_literals").inc(ss.failed_literals);
+      metrics_->counter("solver.simplify_rounds").inc(ss.simplify_rounds);
     } else {
       out.analysis.threats =
           analyzer.enumerate_threats(req.property, req.spec, req.max_vectors, req.minimal_only);

@@ -17,6 +17,26 @@ bool DratProof::derives_empty() const noexcept {
   return false;
 }
 
+void DratProofRecorder::restore_clause(std::span<const Lit> lits) {
+  std::vector<std::int32_t> key;
+  key.reserve(lits.size());
+  for (const Lit l : lits) key.push_back(l.code);
+  std::sort(key.begin(), key.end());
+  for (std::size_t i = proof_.steps.size(); i-- > 0;) {
+    DratStep& s = proof_.steps[i];
+    if (!s.is_delete || s.clause.size() != key.size()) continue;
+    std::vector<std::int32_t> skey;
+    skey.reserve(s.clause.size());
+    for (const Lit l : s.clause) skey.push_back(l.code);
+    std::sort(skey.begin(), skey.end());
+    if (skey == key) {
+      proof_.steps.erase(proof_.steps.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+  add_clause(lits);
+}
+
 // --- writers ---
 
 namespace {
@@ -279,8 +299,11 @@ class DratChecker {
       }
       ++out.stats.checked_additions;
       if (!rup_check(clauses_[cid].lits, out.stats)) {
-        out.error = "addition step " + std::to_string(i + 1) + " is not RUP";
-        return out;
+        if (!rat_check(clauses_[cid].lits, out.stats)) {
+          out.error = "addition step " + std::to_string(i + 1) + " is not RUP or RAT";
+          return out;
+        }
+        ++out.stats.rat_checks;
       }
     }
     for (std::size_t cid = 0; cid < clauses_.size(); ++cid) {
@@ -442,6 +465,32 @@ class DratChecker {
     const std::size_t conflict = seed_units_and_propagate(stats);
     if (conflict == kNoClause) return false;
     mark_core(conflict);
+    return true;
+  }
+
+  /// RAT check on the first literal (the DRAT pivot convention): for every
+  /// active clause D containing ~pivot, the resolvent of `lits` and D on the
+  /// pivot must be RUP. Vacuously true when no active clause contains ~pivot.
+  /// Tautological resolvents pass via rup_check's tautology early-return.
+  bool rat_check(std::span<const Lit> lits, DratCheckStats& stats) {
+    if (lits.empty()) return false;
+    const Lit pivot = lits[0];
+    // rup_check never mutates the occurrence lists, so direct iteration is
+    // safe; partners that feed the check join the core like any antecedent.
+    for (const std::size_t did : occ_[static_cast<std::size_t>((~pivot).code)]) {
+      CheckerClause& d = clauses_[did];
+      if (!d.active) continue;
+      std::vector<Lit> resolvent;
+      resolvent.reserve(lits.size() + d.lits.size() - 2);
+      for (const Lit l : lits) {
+        if (l != pivot) resolvent.push_back(l);
+      }
+      for (const Lit l : d.lits) {
+        if (l != ~pivot) resolvent.push_back(l);
+      }
+      if (!rup_check(resolvent, stats)) return false;
+      d.marked = true;
+    }
     return true;
   }
 

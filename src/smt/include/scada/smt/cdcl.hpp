@@ -9,7 +9,11 @@
 //   * Luby-sequence restarts,
 //   * learned-clause database reduction by activity,
 //   * incremental use: clauses may be added between solve() calls, and
-//     solve() accepts assumption literals.
+//     solve() accepts assumption literals,
+//   * SatELite-style inprocessing (simplify.cpp): subsumption, self-subsuming
+//     resolution, bounded variable elimination with model reconstruction,
+//     failed-literal probing, and learned-clause vivification — all
+//     DRAT-logged so certified unsat verdicts survive simplification.
 //
 // The implementation follows the MiniSat lineage (Eén & Sörensson 2003) but
 // shares no code with it.
@@ -35,6 +39,23 @@ struct CdclConfig {
   double learned_growth = 1.1;      ///< limit growth per reduction
   /// Conflict budget; solve() returns Unknown when exhausted. 0 = unlimited.
   std::uint64_t max_conflicts = 0;
+  /// SatELite-style inprocessing (subsumption, self-subsuming resolution,
+  /// bounded variable elimination, failed-literal probing) before search,
+  /// plus learned-clause vivification at restart boundaries. Frozen and
+  /// assumption variables are never eliminated; Sat models are reconstructed
+  /// over eliminated variables, and every derivation is DRAT-logged.
+  bool simplify = true;
+  /// BVE budget: a variable is eliminated only when the number of non-taut
+  /// resolvents is at most (occurrences + simplify_grow).
+  std::uint32_t simplify_grow = 0;
+  /// BVE skips variables occurring in more clauses than this.
+  std::uint32_t simplify_occ_limit = 20;
+  /// Propagation budget for one failed-literal probing pass.
+  std::uint64_t probe_budget = 200000;
+  /// Vivify the learned DB every Nth restart (0 disables vivification).
+  std::uint32_t vivify_restart_interval = 8;
+  /// Most-active learned clauses vivified per pass.
+  std::size_t vivify_max_clauses = 64;
 };
 
 struct CdclStats {
@@ -45,6 +66,15 @@ struct CdclStats {
   std::uint64_t learned_clauses = 0;
   std::uint64_t removed_clauses = 0;
   std::uint64_t minimized_literals = 0;
+  // --- inprocessing counters ---
+  std::uint64_t simplify_rounds = 0;      ///< full simplify() passes executed
+  std::uint64_t vars_eliminated = 0;      ///< variables removed by BVE
+  std::uint64_t clauses_subsumed = 0;     ///< clauses deleted by subsumption
+  std::uint64_t clauses_strengthened = 0; ///< literals-dropped rewrites (SSR/strip)
+  std::uint64_t resolvents_added = 0;     ///< BVE resolvents kept
+  std::uint64_t failed_literals = 0;      ///< units learned by probing
+  std::uint64_t vivified_clauses = 0;     ///< learned clauses shortened by vivification
+  std::uint64_t restored_vars = 0;        ///< eliminated vars brought back on demand
 };
 
 class CdclSolver {
@@ -67,11 +97,32 @@ class CdclSolver {
   }
 
   /// Solves under optional assumptions. May be called repeatedly; clauses
-  /// added in between are respected.
+  /// added in between are respected. Assumption variables are restored (if a
+  /// previous pass eliminated them) and frozen before inprocessing runs, so
+  /// an assumption can never name an eliminated variable.
   SolveResult solve(std::span<const Lit> assumptions = {});
 
-  /// Model access; only meaningful after solve() returned Sat.
+  /// Model access; only meaningful after solve() returned Sat. Values of
+  /// eliminated variables are reconstructed from the witness stack, so the
+  /// model satisfies every clause ever added, not just the simplified set.
   [[nodiscard]] bool model_value(Var v) const;
+
+  /// Marks `v` ineligible for variable elimination (permanent, idempotent).
+  /// If `v` was already eliminated, its clauses are restored first. Callers
+  /// that read models for a fixed variable set (Session extraction vars) or
+  /// plan to assume/constrain a variable later freeze it up front.
+  void freeze(Var v);
+  [[nodiscard]] bool is_frozen(Var v) const noexcept {
+    return v >= 1 && v <= num_vars() && frozen_[static_cast<std::size_t>(v)];
+  }
+  [[nodiscard]] bool is_eliminated(Var v) const noexcept {
+    return v >= 1 && v <= num_vars() && eliminated_[static_cast<std::size_t>(v)];
+  }
+
+  /// Runs one inprocessing pass now (at decision level 0). Returns false iff
+  /// the instance is now known unsat. solve() calls this automatically when
+  /// CdclConfig::simplify is set; exposed for tests and tools.
+  bool simplify();
 
   /// Cooperative interruption: while `flag` (owned by the caller, which must
   /// keep it alive) reads true, solve() aborts at the next conflict/decision
@@ -97,6 +148,8 @@ class CdclSolver {
   [[nodiscard]] std::size_t free_clause_slots() const noexcept { return free_slots_.size(); }
 
  private:
+  friend class Simplifier;
+
   using ClauseRef = std::uint32_t;
   static constexpr ClauseRef kNoReason = std::numeric_limits<ClauseRef>::max();
 
@@ -156,6 +209,28 @@ class CdclSolver {
   /// Flags the instance unsat; emits the empty clause to the proof once.
   void mark_unsat();
 
+  // --- inprocessing support (simplify.cpp implements simplify/vivify) ---
+  /// One eliminated clause: `witness` is the literal of the eliminated
+  /// variable it contained; replaying the stack in reverse repairs models.
+  struct WitnessClause {
+    Lit witness;
+    std::vector<Lit> lits;
+  };
+  /// Re-adds every clause eliminated with `v` (transitively restoring other
+  /// eliminated variables they mention) and clears its eliminated flag. The
+  /// re-additions are RAT on the witness literal, emitted pivot-first.
+  void restore_variable(Var v);
+  /// Replays the witness stack in reverse over model_, flipping witness
+  /// literals of clauses the model would otherwise falsify.
+  void reconstruct_model();
+  /// Drops the reason refs of the level-0 trail (permanent facts need none),
+  /// so inprocessing may delete or rewrite any clause.
+  void clear_level0_reasons();
+  /// Shortens the most active learned clauses by assumed-prefix propagation
+  /// (called at restart boundaries, level 0). Returns false iff unsat.
+  bool vivify_learned();
+  [[nodiscard]] bool should_simplify() const noexcept;
+
   void attach_clause(ClauseRef cref);
   /// Places a clause in the arena, reusing a free-listed slot when one exists.
   [[nodiscard]] ClauseRef alloc_clause(std::vector<Lit> lits, bool learned);
@@ -194,6 +269,14 @@ class CdclSolver {
   // scratch buffers for analyze()
   std::vector<bool> seen_;
   std::vector<Lit> analyze_stack_;
+
+  // --- inprocessing state ---
+  std::vector<bool> frozen_;      // indexed by Var; never eliminated
+  std::vector<bool> eliminated_;  // indexed by Var; removed by BVE
+  std::vector<WitnessClause> witness_stack_;
+  std::size_t clauses_at_last_simplify_ = 0;
+  bool simplified_once_ = false;
+  std::uint32_t restarts_since_vivify_ = 0;
 
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;

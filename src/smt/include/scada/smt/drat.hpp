@@ -15,10 +15,12 @@
 //     lazy core marking — only derivations that actually feed the final
 //     conflict are verified — and full deletion handling.
 //
-// The checker validates RUP redundancy only (DRUP). That is complete for
-// proofs emitted by CdclSolver: first-UIP learned clauses, including
-// recursively minimized ones, are always RUP; the solver performs no
-// RAT-only techniques (no blocked-clause addition or extended resolution).
+// The checker validates RUP redundancy first and falls back to a RAT check
+// on the first literal of the addition (the DRAT convention). Learned
+// clauses, BVE resolvents, strengthened clauses, and probed units emitted by
+// CdclSolver are all RUP; the RAT path exists for the restore path of the
+// inprocessing engine, which re-adds eliminated clauses pivot-first — those
+// re-additions are RAT on the pivot but not generally RUP.
 #pragma once
 
 #include <cstddef>
@@ -44,6 +46,15 @@ class DratWriter {
 
   /// Records the deletion of a previously available clause.
   virtual void delete_clause(std::span<const Lit> lits) = 0;
+
+  /// Records that the solver brought back a clause it had previously deleted
+  /// (the inprocessing restore path; `lits` arrive pivot-first). The default
+  /// re-emits an addition — sound as a RAT step on the pivot when the proof
+  /// covers a fixed clause set (the tools path). Recorders that accompany an
+  /// incrementally growing formula override this to erase the earlier
+  /// deletion instead, which keeps the proof checkable against inputs that
+  /// arrive after the restore (un-deleting can never invalidate a proof).
+  virtual void restore_clause(std::span<const Lit> lits) { add_clause(lits); }
 
   void add_clause(std::initializer_list<Lit> lits) {
     add_clause(std::span(lits.begin(), lits.size()));
@@ -77,6 +88,12 @@ class DratProofRecorder final : public DratWriter {
   void delete_clause(std::span<const Lit> lits) override {
     proof_.steps.push_back(DratStep{true, Clause(lits.begin(), lits.end())});
   }
+  /// Erases the most recent matching deletion, so the clause reads as never
+  /// deleted; restore steps on the certificate path must stay valid even
+  /// when later incremental assertions mention the restored variable, which
+  /// a RAT re-addition cannot guarantee. Falls back to an addition when no
+  /// deletion matches (the clause predates this recorder).
+  void restore_clause(std::span<const Lit> lits) override;
 
   [[nodiscard]] const DratProof& proof() const noexcept { return proof_; }
   void clear() { proof_.steps.clear(); }
@@ -131,6 +148,7 @@ struct DratCheckStats {
   std::size_t skipped_additions = 0;  ///< additions never marked (lazy core)
   std::size_t core_clauses = 0;       ///< formula clauses in the unsat core
   std::size_t propagations = 0;       ///< literals assigned across all checks
+  std::size_t rat_checks = 0;         ///< additions that needed the RAT fallback
 };
 
 struct DratCheckResult {

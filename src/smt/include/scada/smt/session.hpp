@@ -31,6 +31,12 @@ struct SessionOptions {
   /// exported (export_certificate). Adds proof-recording overhead per
   /// learned clause; off by default.
   bool certify = false;
+  /// CDCL only: SatELite-style inprocessing (subsumption, bounded variable
+  /// elimination, probing, vivification) before and between searches.
+  /// Builder-mapped variables are frozen so model extraction and later
+  /// assumptions always see live variables. Composes with certify: every
+  /// simplifier derivation lands in the DRAT trace. On by default.
+  bool simplify = true;
   /// Z3 only: lower cardinality atoms to integer arithmetic
   /// (sum of ite(b,1,0) <= k) instead of native pseudo-Boolean atmost/atleast.
   /// This mirrors the paper's "Boolean and integer terms" encoding; the
@@ -50,6 +56,17 @@ struct SessionStats {
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
   std::uint64_t removed_clauses = 0;
+  /// Inprocessing counters (CDCL backend with SessionOptions::simplify).
+  std::uint64_t simplify_rounds = 0;
+  std::uint64_t vars_eliminated = 0;
+  std::uint64_t clauses_subsumed = 0;
+  std::uint64_t clauses_strengthened = 0;
+  std::uint64_t failed_literals = 0;
+  std::uint64_t vivified_clauses = 0;
+  std::uint64_t restored_vars = 0;
+  /// Total solver variables allocated (Tseitin + cardinality auxiliaries);
+  /// vars_eliminated / solver_vars is the BVE reduction ratio.
+  std::uint64_t solver_vars = 0;
 };
 
 /// Verdict of re-checking a solve result against its certificate.

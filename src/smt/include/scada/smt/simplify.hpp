@@ -1,0 +1,107 @@
+// SatELite-style inprocessing for the CDCL solver (Eén & Biere 2005 lineage,
+// no shared code).
+//
+// One pass, run by CdclSolver::simplify() at decision level 0:
+//   1. level-0 cleanup — satisfied clauses removed, permanently false
+//      literals stripped,
+//   2. subsumption + self-subsuming resolution over occurrence lists with
+//      64-bit literal signatures,
+//   3. bounded variable elimination (BVE) with a resolvent-growth budget;
+//      eliminated clauses go onto the solver's witness stack so Sat models
+//      can be reconstructed over the original formula,
+//   4. failed-literal probing over the binary implication graph.
+// Learned-clause vivification (CdclSolver::vivify_learned, also defined in
+// simplify.cpp) runs separately at restart boundaries.
+//
+// Frozen variables — Session model-extraction variables and every assumption
+// variable — are never eliminated. Every clause addition (resolvents,
+// strengthened clauses, probed units) and every deletion is streamed to the
+// attached DRAT writer, so unsat verdicts remain certifiable; BVE parent
+// deletions keep the proof tight enough that dropping a resolvent is caught
+// by the checker.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "scada/smt/cdcl.hpp"
+
+namespace scada::smt {
+
+/// One inprocessing pass over a CdclSolver. All state (occurrence lists,
+/// signatures) is per-pass; CdclSolver::simplify() constructs and runs one.
+class Simplifier {
+ public:
+  explicit Simplifier(CdclSolver& solver) : s_(solver) {}
+
+  /// cleanup -> (subsumption/SSR -> BVE) rounds -> watch rebuild -> probing.
+  /// Returns false iff the instance became unsat.
+  bool run();
+
+ private:
+  using ClauseRef = CdclSolver::ClauseRef;
+  using LBool = CdclSolver::LBool;
+
+  [[nodiscard]] std::vector<ClauseRef>& occ(Lit l) {
+    return occ_[static_cast<std::size_t>(l.code)];
+  }
+  [[nodiscard]] std::vector<ClauseRef>& locc(Lit l) {
+    return locc_[static_cast<std::size_t>(l.code)];
+  }
+
+  /// Detaches all watchers, sorts/cleans every clause, builds occurrence
+  /// lists and signatures. Returns false iff unsat.
+  bool collect();
+  /// Forward subsumption and self-subsuming resolution; `changed` is set
+  /// when any clause was removed or strengthened. Returns false iff unsat.
+  bool subsumption_pass(bool& changed);
+  /// Bounded variable elimination, cheapest variables first. Returns false
+  /// iff unsat.
+  bool bve_pass(bool& changed);
+  /// Reattaches watchers for all surviving clauses, frees retired arena
+  /// slots, and propagates units found during the pass. Returns false iff
+  /// unsat.
+  bool rebuild_and_propagate();
+  /// Failed-literal probing over the binary implication graph. Returns false
+  /// iff unsat.
+  bool probe_pass();
+
+  /// Removes `~drop` from clause `dr` (proof: add shortened, delete
+  /// original). Returns false iff unsat.
+  bool strengthen(ClauseRef dr, Lit drop);
+  /// Pushes the clause onto the witness stack, proof-deletes it, and retires
+  /// it from the occurrence lists.
+  void retire_parent(ClauseRef cr, Lit witness);
+  /// Resolves two clauses on `v`; nullopt for tautological or level-0
+  /// satisfied resolvents; level-0 false literals are stripped.
+  std::optional<std::vector<Lit>> resolve(ClauseRef pr, ClauseRef nr, Var v) const;
+  /// Counting-only twin of resolve(): true iff the resolvent survives (not
+  /// tautological, not satisfied at level 0), without materializing it. Used
+  /// for the BVE budget check so rejected candidates allocate nothing.
+  bool resolvent_survives(ClauseRef pr, ClauseRef nr, Var v) const;
+  /// Marks the variables of `lits` as touched: after the first round, BVE
+  /// and subsumption revisit only touched neighborhoods.
+  void touch(std::span<const Lit> lits);
+  /// Allocates a problem clause and registers it in occ/sig (proof addition
+  /// already emitted by the caller or emitted here — see implementation).
+  ClauseRef add_problem_clause(std::vector<Lit> lits);
+  /// Marks a clause removed, updates the problem-clause count, optionally
+  /// emits the proof deletion, and queues its arena slot for reuse.
+  void remove_clause(ClauseRef r, bool emit_delete);
+  /// Enqueues a level-0 fact (no-op when already true). Returns false iff it
+  /// contradicts the level-0 assignment (instance unsat).
+  bool assign_unit(Lit l);
+
+  CdclSolver& s_;
+  std::vector<std::vector<ClauseRef>> occ_;   // Lit::code -> problem clauses
+  std::vector<std::vector<ClauseRef>> locc_;  // Lit::code -> learned clauses
+  std::vector<std::uint64_t> sig_;            // ClauseRef -> literal signature
+  std::vector<ClauseRef> problem_;            // active problem clauses
+  std::vector<ClauseRef> freed_;              // retired slots, free-listed at rebuild
+  std::vector<char> touched_;                 // Var -> revisit in the next BVE round
+  std::vector<char> stouched_;                // Var -> revisit in the next subsumption round
+};
+
+}  // namespace scada::smt

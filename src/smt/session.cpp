@@ -1,5 +1,7 @@
 #include "scada/smt/session.hpp"
 
+#include <cassert>
+
 #include "scada/smt/cdcl.hpp"
 #include "scada/smt/cnf.hpp"
 #include "scada/util/error.hpp"
@@ -31,7 +33,8 @@ class CdclSessionImpl final : public SessionImpl {
  public:
   CdclSessionImpl(const FormulaBuilder& builder, const SessionOptions& options)
       : builder_(builder),
-        solver_(CdclConfig{.max_conflicts = options.max_conflicts}),
+        solver_(CdclConfig{.max_conflicts = options.max_conflicts,
+                           .simplify = options.simplify}),
         recorder_(options.certify ? std::make_unique<DratProofRecorder>() : nullptr),
         sink_(solver_, recorder_ ? &cnf_ : nullptr),
         transformer_(builder, sink_, options.card_encoding) {
@@ -45,6 +48,10 @@ class CdclSessionImpl final : public SessionImpl {
     std::vector<Lit> lits;
     lits.reserve(assumptions.size());
     for (const Formula f : assumptions) lits.push_back(transformer_.define(f));
+    // Builder variables are the model-extraction set (and candidates for
+    // future assumptions/blocking clauses): inprocessing must never
+    // eliminate them, or snapshot_model would read stale values.
+    freeze_extraction_vars();
     const SolveResult r = solver_.solve(lits);
     if (r == SolveResult::Sat) snapshot_model();
     return r;
@@ -70,6 +77,14 @@ class CdclSessionImpl final : public SessionImpl {
     stats.restarts = s.restarts;
     stats.learned_clauses = s.learned_clauses;
     stats.removed_clauses = s.removed_clauses;
+    stats.simplify_rounds = s.simplify_rounds;
+    stats.vars_eliminated = s.vars_eliminated;
+    stats.clauses_subsumed = s.clauses_subsumed;
+    stats.clauses_strengthened = s.clauses_strengthened;
+    stats.failed_literals = s.failed_literals;
+    stats.vivified_clauses = s.vivified_clauses;
+    stats.restored_vars = s.restored_vars;
+    stats.solver_vars = static_cast<std::uint64_t>(solver_.num_vars());
   }
 
   CertificateResult certify_last(SolveResult last) const override {
@@ -116,10 +131,19 @@ class CdclSessionImpl final : public SessionImpl {
     return cnf;
   }
 
+  /// Freezes the solver counterpart of every builder variable mapped so far
+  /// (idempotent; later solves pick up newly mapped variables).
+  void freeze_extraction_vars() {
+    for (Var v = 1; v <= builder_.num_vars(); ++v) {
+      if (const auto sv = transformer_.try_solver_var(v)) solver_.freeze(*sv);
+    }
+  }
+
   void snapshot_model() {
     model_.assign(static_cast<std::size_t>(builder_.num_vars()) + 1, false);
     for (Var v = 1; v <= builder_.num_vars(); ++v) {
       if (const auto sv = transformer_.try_solver_var(v)) {
+        assert(!solver_.is_eliminated(*sv));  // frozen in solve()
         model_[static_cast<std::size_t>(v)] = solver_.model_value(*sv);
       }
     }

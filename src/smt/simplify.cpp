@@ -1,0 +1,635 @@
+#include "scada/smt/simplify.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "scada/smt/drat.hpp"
+
+namespace scada::smt {
+
+namespace {
+
+std::uint64_t lit_bit(Lit l) noexcept {
+  return std::uint64_t{1} << (static_cast<std::uint32_t>(l.code) & 63u);
+}
+
+std::uint64_t signature(const std::vector<Lit>& lits) noexcept {
+  std::uint64_t sig = 0;
+  for (const Lit l : lits) sig |= lit_bit(l);
+  return sig;
+}
+
+/// a ⊆ b for clauses sorted by Lit::code.
+bool subset(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+  std::size_t j = 0;
+  for (const Lit l : a) {
+    while (j < b.size() && b[j].code < l.code) ++j;
+    if (j == b.size() || b[j].code != l.code) return false;
+    ++j;
+  }
+  return true;
+}
+
+/// (a \ {skip_a}) ⊆ (b \ {skip_b}) for clauses sorted by Lit::code.
+bool subset_except(const std::vector<Lit>& a, Lit skip_a, const std::vector<Lit>& b,
+                   Lit skip_b) {
+  std::size_t j = 0;
+  for (const Lit l : a) {
+    if (l == skip_a) continue;
+    while (j < b.size() && (b[j].code < l.code || b[j] == skip_b)) ++j;
+    if (j == b.size() || b[j].code != l.code) return false;
+    ++j;
+  }
+  return true;
+}
+
+}  // namespace
+
+void Simplifier::remove_clause(ClauseRef r, bool emit_delete) {
+  auto& c = s_.clauses_[r];
+  if (c.removed) return;
+  if (emit_delete && s_.proof_ != nullptr) s_.proof_->delete_clause(c.lits);
+  if (!c.learned) --s_.num_problem_clauses_;
+  touch(c.lits);  // fewer occurrences may bring neighbors under the BVE budget
+  c.removed = true;
+  c.lits.clear();
+  c.lits.shrink_to_fit();
+  freed_.push_back(r);
+}
+
+bool Simplifier::assign_unit(Lit l) {
+  const LBool v = s_.value(l);
+  if (v == LBool::True) return true;
+  if (v == LBool::False) {
+    s_.mark_unsat();
+    return false;
+  }
+  // Propagated after the watcher rebuild (rebuild_and_propagate).
+  s_.enqueue(l, CdclSolver::kNoReason);
+  return true;
+}
+
+bool Simplifier::collect() {
+  for (auto& ws : s_.watches_) ws.clear();
+  s_.clear_level0_reasons();
+  occ_.assign(s_.watches_.size(), {});
+  locc_.assign(s_.watches_.size(), {});
+  sig_.assign(s_.clauses_.size(), 0);
+  problem_.clear();
+  // Every variable is a BVE candidate in round one; later rounds revisit
+  // only variables whose neighborhood changed.
+  touched_.assign(static_cast<std::size_t>(s_.num_vars()) + 1, 1);
+  stouched_.assign(static_cast<std::size_t>(s_.num_vars()) + 1, 1);
+
+  for (ClauseRef r = 0; r < s_.clauses_.size(); ++r) {
+    auto& c = s_.clauses_[r];
+    if (c.removed) continue;
+    // Sorted literals make the subset/resolution merges linear; watchers are
+    // detached, so reordering is safe.
+    std::sort(c.lits.begin(), c.lits.end(), [](Lit a, Lit b) { return a.code < b.code; });
+
+    bool satisfied = false;
+    for (const Lit l : c.lits) {
+      if (s_.value(l) == LBool::True) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) {
+      remove_clause(r, /*emit_delete=*/true);
+      continue;
+    }
+    std::vector<Lit> kept;
+    kept.reserve(c.lits.size());
+    for (const Lit l : c.lits) {
+      if (s_.value(l) != LBool::False) kept.push_back(l);
+    }
+    if (kept.size() != c.lits.size()) {
+      if (kept.empty()) {
+        s_.mark_unsat();
+        return false;
+      }
+      ++s_.stats_.clauses_strengthened;
+      if (s_.proof_ != nullptr) {
+        s_.proof_->add_clause(kept);
+        s_.proof_->delete_clause(c.lits);
+      }
+      c.lits = std::move(kept);
+    }
+    if (c.lits.size() == 1) {
+      // Shortened to a unit: it lives on the trail now, not in the arena.
+      const Lit unit = c.lits[0];
+      remove_clause(r, /*emit_delete=*/false);
+      if (!assign_unit(unit)) return false;
+      continue;
+    }
+    sig_[r] = signature(c.lits);
+    for (const Lit l : c.lits) (c.learned ? locc(l) : occ(l)).push_back(r);
+    if (!c.learned) problem_.push_back(r);
+  }
+  return true;
+}
+
+bool Simplifier::strengthen(ClauseRef dr, Lit drop) {
+  auto& d = s_.clauses_[dr];
+  std::vector<Lit> kept;
+  kept.reserve(d.lits.size() - 1);
+  for (const Lit l : d.lits) {
+    if (l != drop) kept.push_back(l);
+  }
+  ++s_.stats_.clauses_strengthened;
+  if (s_.proof_ != nullptr) {
+    s_.proof_->add_clause(kept);
+    s_.proof_->delete_clause(d.lits);
+  }
+  std::erase((d.learned ? locc(drop) : occ(drop)), dr);
+  touch(d.lits);
+  if (kept.size() == 1) {
+    const Lit unit = kept[0];
+    remove_clause(dr, /*emit_delete=*/false);
+    return assign_unit(unit);
+  }
+  d.lits = std::move(kept);
+  sig_[dr] = signature(d.lits);
+  return true;
+}
+
+bool Simplifier::subsumption_pass(bool& changed) {
+  // Only clauses whose neighborhood changed since the last pass can subsume
+  // anything new; round one sees every variable flagged (collect). The
+  // snapshot is taken before the scan because the scan itself re-flags the
+  // neighborhoods it changes, which the *next* round must revisit.
+  const std::vector<char> active = std::exchange(
+      stouched_, std::vector<char>(static_cast<std::size_t>(s_.num_vars()) + 1, 0));
+  const auto is_active = [&active](const std::vector<Lit>& lits) {
+    for (const Lit l : lits) {
+      if (active[static_cast<std::size_t>(l.var())] != 0) return true;
+    }
+    return false;
+  };
+
+  // Small clauses are the strongest subsumers; visit them first.
+  std::vector<ClauseRef> order;
+  order.reserve(problem_.size());
+  for (const ClauseRef r : problem_) {
+    if (!s_.clauses_[r].removed && is_active(s_.clauses_[r].lits)) order.push_back(r);
+  }
+  std::sort(order.begin(), order.end(), [this](ClauseRef a, ClauseRef b) {
+    return s_.clauses_[a].lits.size() < s_.clauses_[b].lits.size();
+  });
+
+  for (const ClauseRef cr : order) {
+    if (s_.interrupted()) return true;
+    const auto& c = s_.clauses_[cr];
+    if (c.removed) continue;
+    const std::uint64_t csig = sig_[cr];
+
+    // Forward subsumption: C deletes every D ⊇ C. Scanning the occurrence
+    // list of C's rarest literal visits every candidate.
+    Lit rare = c.lits[0];
+    for (const Lit l : c.lits) {
+      if (occ(l).size() < occ(rare).size()) rare = l;
+    }
+    for (const ClauseRef dr : std::vector<ClauseRef>(occ(rare))) {
+      if (dr == cr) continue;
+      const auto& d = s_.clauses_[dr];
+      if (d.removed || d.lits.size() < c.lits.size()) continue;
+      if ((csig & ~sig_[dr]) != 0) continue;
+      if (!subset(c.lits, d.lits)) continue;
+      remove_clause(dr, /*emit_delete=*/true);
+      ++s_.stats_.clauses_subsumed;
+      changed = true;
+    }
+
+    // Self-subsuming resolution: when (C \ {l}) ⊆ (D \ {~l}), resolving on l
+    // proves D without ~l — strengthen D in place.
+    const std::vector<Lit> clits = c.lits;  // strengthen() may move vectors
+    for (const Lit l : clits) {
+      const std::uint64_t base = csig & ~lit_bit(l);
+      for (const ClauseRef dr : std::vector<ClauseRef>(occ(~l))) {
+        const auto& d = s_.clauses_[dr];
+        if (d.removed || d.lits.size() < clits.size()) continue;
+        if ((base & ~sig_[dr]) != 0) continue;
+        if (!subset_except(clits, l, d.lits, ~l)) continue;
+        if (!strengthen(dr, ~l)) return false;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+namespace {
+
+/// Sorted merge of two clauses minus the pivot variable. Clause literals are
+/// kept code-sorted from collect() onward, so resolution is a linear merge —
+/// no per-pair sort. `emit` receives each surviving literal in code order;
+/// returns false for tautological resolvents (complementary pair).
+template <typename Emit>
+bool merge_resolvent(const std::vector<Lit>& a, const std::vector<Lit>& b, Var v, Emit&& emit) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::uint32_t last_code = UINT32_MAX;
+  const auto step = [&](Lit l) {
+    const auto code = static_cast<std::uint32_t>(l.code);
+    if (code == (last_code ^ 1U)) return false;  // tautology
+    if (code != last_code) {
+      last_code = code;
+      emit(l);
+    }
+    return true;
+  };
+  while (i < a.size() || j < b.size()) {
+    Lit l{};
+    if (j >= b.size() || (i < a.size() && a[i].code <= b[j].code)) {
+      l = a[i++];
+    } else {
+      l = b[j++];
+    }
+    if (l.var() == v) continue;
+    if (!step(l)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<std::vector<Lit>> Simplifier::resolve(ClauseRef pr, ClauseRef nr, Var v) const {
+  const auto& a = s_.clauses_[pr].lits;
+  const auto& b = s_.clauses_[nr].lits;
+  std::vector<Lit> out;
+  out.reserve(a.size() + b.size() - 2);
+  bool satisfied = false;
+  const bool non_taut = merge_resolvent(a, b, v, [&](Lit l) {
+    const LBool val = s_.value(l);
+    if (val == LBool::True) satisfied = true;  // satisfied at level 0
+    if (val == LBool::Undef) out.push_back(l);
+  });
+  if (!non_taut || satisfied) return std::nullopt;
+  return out;
+}
+
+bool Simplifier::resolvent_survives(ClauseRef pr, ClauseRef nr, Var v) const {
+  bool satisfied = false;
+  const bool non_taut =
+      merge_resolvent(s_.clauses_[pr].lits, s_.clauses_[nr].lits, v, [&](Lit l) {
+        if (s_.value(l) == LBool::True) satisfied = true;
+      });
+  return non_taut && !satisfied;
+}
+
+void Simplifier::touch(std::span<const Lit> lits) {
+  for (const Lit l : lits) {
+    const auto vi = static_cast<std::size_t>(l.var());
+    if (vi < touched_.size()) {
+      touched_[vi] = 1;
+      stouched_[vi] = 1;
+    }
+  }
+}
+
+Simplifier::ClauseRef Simplifier::add_problem_clause(std::vector<Lit> lits) {
+  const ClauseRef r = s_.alloc_clause(std::move(lits), /*learned=*/false);
+  ++s_.num_problem_clauses_;
+  if (sig_.size() <= r) sig_.resize(static_cast<std::size_t>(r) + 1, 0);
+  const auto& c = s_.clauses_[r];
+  sig_[r] = signature(c.lits);
+  for (const Lit l : c.lits) occ(l).push_back(r);
+  touch(c.lits);
+  problem_.push_back(r);
+  return r;
+}
+
+void Simplifier::retire_parent(ClauseRef cr, Lit witness) {
+  auto& c = s_.clauses_[cr];
+  // The occ entries stay behind as stale refs: every occ consumer checks the
+  // removed flag, and eager std::erase here is quadratic over a pass. The
+  // slot is not reusable until rebuild_and_propagate hands freed_ back, so a
+  // stale ref can never alias a live clause.
+  if (s_.proof_ != nullptr) s_.proof_->delete_clause(c.lits);
+  touch(c.lits);
+  s_.witness_stack_.push_back(CdclSolver::WitnessClause{witness, std::move(c.lits)});
+  c.lits.clear();
+  remove_clause(cr, /*emit_delete=*/false);
+}
+
+bool Simplifier::bve_pass(bool& changed) {
+  const Var n = s_.num_vars();
+  const auto active_count = [this](Lit l) {
+    std::size_t count = 0;
+    for (const ClauseRef r : occ(l)) {
+      if (!s_.clauses_[r].removed) ++count;
+    }
+    return count;
+  };
+
+  std::vector<Var> order;
+  order.reserve(static_cast<std::size_t>(n));
+  std::vector<std::size_t> cost(static_cast<std::size_t>(n) + 1, 0);
+  for (Var v = 1; v <= n; ++v) {
+    const auto vi = static_cast<std::size_t>(v);
+    if (touched_[vi] == 0) continue;  // neighborhood unchanged since last try
+    if (s_.frozen_[vi] || s_.eliminated_[vi] || s_.assign_[vi] != LBool::Undef) {
+      touched_[vi] = 0;
+      continue;
+    }
+    const std::size_t c = active_count(Lit{v, false}) + active_count(Lit{v, true});
+    touched_[vi] = 0;
+    if (c == 0) continue;  // appears in no problem clause: nothing to eliminate
+    cost[vi] = c;
+    order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&cost](Var a, Var b) {
+    const auto ca = cost[static_cast<std::size_t>(a)];
+    const auto cb = cost[static_cast<std::size_t>(b)];
+    return ca != cb ? ca < cb : a < b;
+  });
+
+  for (const Var v : order) {
+    if (s_.interrupted()) return true;
+    const auto vi = static_cast<std::size_t>(v);
+    // Units found since ordering may have assigned it.
+    if (s_.eliminated_[vi] || s_.assign_[vi] != LBool::Undef) continue;
+    assert(!s_.frozen_[vi]);
+
+    const Lit pos{v, false};
+    const Lit neg{v, true};
+    std::vector<ClauseRef> ps;
+    std::vector<ClauseRef> ns;
+    for (const ClauseRef r : occ(pos)) {
+      if (!s_.clauses_[r].removed) ps.push_back(r);
+    }
+    for (const ClauseRef r : occ(neg)) {
+      if (!s_.clauses_[r].removed) ns.push_back(r);
+    }
+    if (ps.size() + ns.size() > s_.config_.simplify_occ_limit) continue;
+
+    // The SatELite criterion: eliminate only when the non-tautological
+    // resolvent count stays within the removed-clause count plus the budget.
+    // Counting pass first — rejected candidates allocate nothing, which
+    // matters because most candidates fail the budget every round.
+    const std::size_t budget = ps.size() + ns.size() + s_.config_.simplify_grow;
+    std::size_t surviving = 0;
+    bool too_many = false;
+    for (const ClauseRef pr : ps) {
+      for (const ClauseRef nr : ns) {
+        if (resolvent_survives(pr, nr, v) && ++surviving > budget) {
+          too_many = true;
+          break;
+        }
+      }
+      if (too_many) break;
+    }
+    if (too_many) continue;
+
+    std::vector<std::vector<Lit>> resolvents;
+    resolvents.reserve(surviving);
+    for (const ClauseRef pr : ps) {
+      for (const ClauseRef nr : ns) {
+        if (auto r = resolve(pr, nr, v)) resolvents.push_back(std::move(*r));
+      }
+    }
+
+    changed = true;
+    s_.eliminated_[vi] = true;
+    ++s_.stats_.vars_eliminated;
+    for (auto& r : resolvents) {
+      ++s_.stats_.resolvents_added;
+      if (r.empty()) {
+        // Both sides forced by level-0 facts: the instance is unsat, and the
+        // empty clause is RUP (mark_unsat emits it).
+        s_.mark_unsat();
+        return false;
+      }
+      if (s_.proof_ != nullptr) s_.proof_->add_clause(r);
+      if (r.size() == 1) {
+        if (!assign_unit(r[0])) return false;
+      } else {
+        (void)add_problem_clause(std::move(r));
+      }
+    }
+    // Resolvents first, parents second: with the parents proof-deleted, a
+    // proof missing a resolvent is no longer self-healing — the checker
+    // rejects it (the negative-test contract).
+    for (const ClauseRef cr : ps) retire_parent(cr, pos);
+    for (const ClauseRef cr : ns) retire_parent(cr, neg);
+    // Learned clauses over an eliminated variable cannot stay. Their other
+    // locc entries go stale, like retired parents' occ entries — every locc
+    // consumer checks the removed flag.
+    for (const Lit l : {pos, neg}) {
+      for (const ClauseRef cr : locc(l)) {
+        auto& c = s_.clauses_[cr];
+        if (c.removed) continue;
+        remove_clause(cr, /*emit_delete=*/true);
+        ++s_.stats_.removed_clauses;
+      }
+    }
+  }
+  return true;
+}
+
+bool Simplifier::rebuild_and_propagate() {
+  std::erase_if(s_.learned_refs_, [this](ClauseRef r) { return s_.clauses_[r].removed; });
+  for (ClauseRef r = 0; r < s_.clauses_.size(); ++r) {
+    if (!s_.clauses_[r].removed) s_.attach_clause(r);
+  }
+  s_.free_slots_.insert(s_.free_slots_.end(), freed_.begin(), freed_.end());
+  freed_.clear();
+  // Re-propagate the whole level-0 trail: units discovered during the pass
+  // have not met the rebuilt watcher lists yet.
+  s_.propagate_head_ = 0;
+  if (s_.propagate() != CdclSolver::kNoReason) {
+    s_.mark_unsat();
+    return false;
+  }
+  return true;
+}
+
+bool Simplifier::probe_pass() {
+  // Candidate probes are roots of binary implication edges: l is worth
+  // probing when some binary clause contains ~l (so l implies something).
+  std::vector<char> is_candidate(s_.watches_.size(), 0);
+  std::vector<Lit> probes;
+  for (const auto& c : s_.clauses_) {
+    if (c.removed || c.lits.size() != 2) continue;
+    for (const Lit l : c.lits) {
+      const Lit probe = ~l;
+      auto& flag = is_candidate[static_cast<std::size_t>(probe.code)];
+      if (flag == 0) {
+        flag = 1;
+        probes.push_back(probe);
+      }
+    }
+  }
+
+  const std::uint64_t start = s_.stats_.propagations;
+  for (const Lit p : probes) {
+    if (s_.interrupted()) break;
+    if (s_.config_.probe_budget != 0 &&
+        s_.stats_.propagations - start > s_.config_.probe_budget) {
+      break;
+    }
+    if (s_.value(p) != LBool::Undef) continue;
+    s_.trail_lim_.push_back(static_cast<std::uint32_t>(s_.trail_.size()));
+    s_.enqueue(p, CdclSolver::kNoReason);
+    const ClauseRef conflict = s_.propagate();
+    s_.cancel_until(0);
+    if (conflict == CdclSolver::kNoReason) continue;
+    ++s_.stats_.failed_literals;
+    // Assuming p conflicts, so ~p is a level-0 fact — RUP by construction.
+    if (s_.proof_ != nullptr) s_.proof_->add_clause({~p});
+    s_.enqueue(~p, CdclSolver::kNoReason);
+    if (s_.propagate() != CdclSolver::kNoReason) {
+      s_.mark_unsat();
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Simplifier::run() {
+  if (s_.unsat_) return false;
+  assert(s_.decision_level() == 0);
+  if (!collect()) return false;
+
+  bool changed = true;
+  int round = 0;
+  while (changed && round < 3 && !s_.unsat_ && !s_.interrupted()) {
+    ++round;
+    changed = false;
+    if (!subsumption_pass(changed)) return false;
+    if (!bve_pass(changed)) return false;
+  }
+  if (!rebuild_and_propagate()) return false;
+  return probe_pass();
+}
+
+// --- CdclSolver entry points (kept here with the rest of the engine) ---
+
+bool CdclSolver::simplify() {
+  if (unsat_) return false;
+  cancel_until(0);
+  if (propagate() != kNoReason) {
+    mark_unsat();
+    return false;
+  }
+  Simplifier pass(*this);
+  const bool ok = pass.run();
+  simplified_once_ = true;
+  clauses_at_last_simplify_ = num_problem_clauses_;
+  ++stats_.simplify_rounds;
+  return ok && !unsat_;
+}
+
+bool CdclSolver::vivify_learned() {
+  if (unsat_) return false;
+  assert(decision_level() == 0);
+  if (config_.vivify_max_clauses == 0 || learned_refs_.empty()) return true;
+  clear_level0_reasons();
+
+  // The most active learned clauses steer the current search; shortening
+  // them pays the most.
+  std::vector<ClauseRef> cands;
+  for (const ClauseRef r : learned_refs_) {
+    const InternalClause& c = clauses_[r];
+    if (!c.removed && c.lits.size() >= 3) cands.push_back(r);
+  }
+  const std::size_t take = std::min(cands.size(), config_.vivify_max_clauses);
+  std::partial_sort(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(take),
+                    cands.end(), [this](ClauseRef a, ClauseRef b) {
+                      return clauses_[a].activity > clauses_[b].activity;
+                    });
+  cands.resize(take);
+
+  bool removed_any = false;
+  for (const ClauseRef r : cands) {
+    if (unsat_) return false;
+    if (interrupted()) break;
+    InternalClause& c = clauses_[r];
+    if (c.removed || c.lits.size() < 3) continue;
+
+    // Detach: while its own negation is assumed, the clause must not take
+    // part in propagation.
+    std::erase_if(watches(~c.lits[0]), [r](const Watcher& w) { return w.cref == r; });
+    std::erase_if(watches(~c.lits[1]), [r](const Watcher& w) { return w.cref == r; });
+
+    const std::vector<Lit> original = c.lits;
+    std::vector<Lit> kept;
+    kept.reserve(original.size());
+    bool satisfied_at_root = false;
+    trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
+    for (const Lit l : original) {
+      const LBool v = value(l);
+      if (v == LBool::True) {
+        if (level_[static_cast<std::size_t>(l.var())] == 0) {
+          satisfied_at_root = true;  // permanently satisfied: drop the clause
+        } else {
+          kept.push_back(l);  // prefix implies l: the tail is redundant
+        }
+        break;
+      }
+      if (v == LBool::False) continue;  // prefix implies ~l: l is redundant
+      kept.push_back(l);
+      enqueue(~l, kNoReason);
+      if (propagate() != kNoReason) break;  // the kept prefix already conflicts
+    }
+    cancel_until(0);
+
+    const auto drop_clause = [&] {
+      c.removed = true;
+      c.lits.clear();
+      c.lits.shrink_to_fit();
+      free_slots_.push_back(r);
+      removed_any = true;
+    };
+
+    if (satisfied_at_root) {
+      if (proof_ != nullptr) proof_->delete_clause(original);
+      drop_clause();
+      ++stats_.removed_clauses;
+      continue;
+    }
+    if (kept.size() >= original.size()) {
+      attach_clause(r);
+      continue;
+    }
+    ++stats_.vivified_clauses;
+    if (kept.empty()) {
+      // Every literal was already false at level 0: the instance is unsat.
+      mark_unsat();
+      if (proof_ != nullptr) proof_->delete_clause(original);
+      drop_clause();
+      break;
+    }
+    if (proof_ != nullptr) {
+      proof_->add_clause(kept);
+      proof_->delete_clause(original);
+    }
+    if (kept.size() == 1) {
+      const Lit unit = kept[0];
+      drop_clause();
+      const LBool v = value(unit);
+      if (v == LBool::False) {
+        mark_unsat();
+        break;
+      }
+      if (v == LBool::Undef) {
+        enqueue(unit, kNoReason);
+        if (propagate() != kNoReason) {
+          mark_unsat();
+          break;
+        }
+      }
+      continue;
+    }
+    c.lits = std::move(kept);
+    attach_clause(r);
+  }
+  if (removed_any) {
+    std::erase_if(learned_refs_, [this](ClauseRef rr) { return clauses_[rr].removed; });
+  }
+  return !unsat_;
+}
+
+}  // namespace scada::smt

@@ -9,7 +9,9 @@
 // The CDCL engine additionally runs with certification on: every verdict is
 // re-checked against its certificate (DRAT proof replay for unsat, model
 // evaluation for sat) by the independent checker — a fourth oracle that a
-// rejected certificate fails via ScadaError, same as a divergence.
+// rejected certificate fails via ScadaError, same as a divergence. A fifth
+// configuration repeats the CDCL run with inprocessing disabled so
+// simplifier-induced divergences are attributable.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -77,17 +79,29 @@ TEST(DifferentialFuzzTest, AllEnginesAgreeOnRandomScenarios) {
     AnalyzerOptions cdcl_options = z3_options;
     cdcl_options.solver.backend = smt::Backend::Cdcl;
     cdcl_options.certify = true;
+    // Fifth configuration: the same CDCL engine with inprocessing disabled.
+    // The default CDCL run above exercises simplification (it is on by
+    // default), so this pins down divergences introduced by BVE/subsumption
+    // rather than by the encoder or search.
+    AnalyzerOptions plain_options = cdcl_options;
+    plain_options.solver.simplify = false;
 
     ScadaAnalyzer z3(s, z3_options);
     ScadaAnalyzer cdcl(s, cdcl_options);
+    ScadaAnalyzer plain(s, plain_options);
     BruteForceVerifier brute(s, c.encoder);
 
     const auto z3_result = z3.verify(c.property, c.spec);
     const auto cdcl_result = cdcl.verify(c.property, c.spec);
+    const auto plain_result = plain.verify(c.property, c.spec);
     const auto brute_result = brute.verify(c.property, c.spec);
     EXPECT_EQ(z3_result.result, cdcl_result.result) << "Z3 vs CDCL: " << describe(c);
     EXPECT_EQ(z3_result.result, brute_result.result) << "SMT vs brute: " << describe(c);
+    EXPECT_EQ(cdcl_result.result, plain_result.result)
+        << "CDCL simplify on vs off: " << describe(c);
     EXPECT_TRUE(cdcl_result.certified) << "CDCL verdict without certificate: " << describe(c);
+    EXPECT_TRUE(plain_result.certified)
+        << "no-simplify CDCL verdict without certificate: " << describe(c);
   }
 }
 

@@ -1,0 +1,121 @@
+// Proof-path tests for simplifier-emitted DRAT steps. Bounded variable
+// elimination adds resolvents and deletes their parents; the resulting proof
+// must be exactly as strong as a search-only proof: accepted pristine,
+// rejected when an elimination resolvent is dropped or a deletion is
+// corrupted, and still valid on the eliminate/restore path of incremental
+// solving (where the recorder erases deletions instead of re-adding).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "scada/smt/cdcl.hpp"
+#include "scada/smt/dimacs.hpp"
+#include "scada/smt/drat.hpp"
+
+namespace scada::smt {
+namespace {
+
+Lit L(int signed_var) {
+  return signed_var > 0 ? pos(signed_var) : neg(-signed_var);
+}
+
+/// Pigeonhole 4-into-3 (pigeon p in hole h is var 3(p-1)+h) with the first
+/// pigeon clause (1 2 3) split through the auxiliary definition var 13 into
+/// (13 1) and (-13 2 3). Var 13 has the fewest occurrences, so BVE eliminates
+/// it first and must justify the resolvent (1 2 3) in the proof — dropping
+/// that addition leaves an underivable conclusion because the remainder of
+/// the instance is minimally unsatisfiable.
+DimacsInstance php43_with_aux() {
+  DimacsInstance instance;
+  instance.num_vars = 13;
+  instance.clauses.push_back({L(13), L(1)});
+  instance.clauses.push_back({L(-13), L(2), L(3)});
+  for (int p = 1; p < 4; ++p) {
+    instance.clauses.push_back({L(3 * p + 1), L(3 * p + 2), L(3 * p + 3)});
+  }
+  for (int h = 1; h <= 3; ++h) {
+    for (int p = 0; p < 4; ++p) {
+      for (int q = p + 1; q < 4; ++q) {
+        instance.clauses.push_back({L(-(3 * p + h)), L(-(3 * q + h))});
+      }
+    }
+  }
+  return instance;
+}
+
+DratProof solve_and_record(const DimacsInstance& instance, std::uint64_t* eliminated = nullptr) {
+  DratProofRecorder recorder;
+  CdclSolver solver;
+  solver.set_proof(&recorder);
+  solver.ensure_var(instance.num_vars);
+  for (const Clause& c : instance.clauses) solver.add_clause(c);
+  EXPECT_EQ(solver.solve(), SolveResult::Unsat);
+  if (eliminated != nullptr) *eliminated = solver.stats().vars_eliminated;
+  return recorder.proof();
+}
+
+TEST(SimplifyProofTest, PristineProofWithEliminationIsAccepted) {
+  const DimacsInstance instance = php43_with_aux();
+  std::uint64_t eliminated = 0;
+  const DratProof proof = solve_and_record(instance, &eliminated);
+  EXPECT_GE(eliminated, 1u) << "BVE did not fire; the proof path is untested";
+  ASSERT_TRUE(proof.derives_empty());
+  const DratCheckResult check = check_drat(instance, proof);
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+TEST(SimplifyProofTest, DroppedEliminationResolventIsRejected) {
+  const DimacsInstance instance = php43_with_aux();
+  DratProof proof = solve_and_record(instance);
+  const auto first_add = std::find_if(proof.steps.begin(), proof.steps.end(),
+                                      [](const DratStep& s) { return !s.is_delete; });
+  ASSERT_NE(first_add, proof.steps.end());
+  proof.steps.erase(first_add);
+  const DratCheckResult check = check_drat(instance, proof);
+  EXPECT_FALSE(check.ok) << "checker accepted a proof missing a BVE resolvent";
+}
+
+TEST(SimplifyProofTest, CorruptedDeletionIsRejected) {
+  const DimacsInstance instance = php43_with_aux();
+  DratProof proof = solve_and_record(instance);
+  const auto first_del = std::find_if(proof.steps.begin(), proof.steps.end(),
+                                      [](const DratStep& s) { return s.is_delete; });
+  ASSERT_NE(first_del, proof.steps.end());
+  // Retarget the deletion at the last hole clause: the conclusion needs it
+  // (the instance minus the auxiliary split is minimally unsatisfiable), so
+  // some core step downstream loses its derivation.
+  first_del->clause = instance.clauses.back();
+  const DratCheckResult check = check_drat(instance, proof);
+  EXPECT_FALSE(check.ok) << "checker accepted a proof with a corrupted deletion";
+}
+
+TEST(SimplifyProofTest, RestorePathKeepsProofCheckable) {
+  // First solve eliminates variables; later clause additions mention them and
+  // force restores. On the certificate path the recorder must erase the
+  // parent deletions (not re-add the clauses as RAT steps), so the final
+  // proof checks against the FULL input set — including the clauses that
+  // arrived after the restore.
+  DratProofRecorder recorder;
+  CdclSolver solver;
+  solver.set_proof(&recorder);
+  const std::vector<Clause> initial = {{L(3), L(1)}, {L(-3), L(2)}};
+  for (const Clause& c : initial) solver.add_clause(c);
+  ASSERT_EQ(solver.solve(), SolveResult::Sat);
+
+  const std::vector<Clause> later = {{L(-1)}, {L(-2)}};
+  for (const Clause& c : later) solver.add_clause(c);
+  ASSERT_EQ(solver.solve(), SolveResult::Unsat);
+  EXPECT_GE(solver.stats().restored_vars, 1u);
+  ASSERT_TRUE(recorder.proof().derives_empty());
+
+  DimacsInstance instance;
+  instance.num_vars = 3;
+  instance.clauses = initial;
+  instance.clauses.insert(instance.clauses.end(), later.begin(), later.end());
+  const DratCheckResult check = check_drat(instance, recorder.proof());
+  EXPECT_TRUE(check.ok) << check.error;
+}
+
+}  // namespace
+}  // namespace scada::smt

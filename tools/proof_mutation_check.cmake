@@ -1,18 +1,25 @@
 # End-to-end certificate round trip plus the proof-mutation negative test:
 #   1. sat_solve emits a DRAT proof for an unsat pigeonhole instance (exit 20),
 #   2. drat_check verifies the pristine proof (exit 0, "s VERIFIED"),
-#   3. one literal of the first proof step is flipped and drat_check must
-#      reject the mutated proof (exit 1, "s NOT VERIFIED").
-# A checker that accepts mutated proofs would certify nothing.
+#   3. the proof is truncated to its first addition step followed by a claimed
+#      empty clause, and drat_check must reject it (exit 1, "s NOT VERIFIED").
+# A checker that trusted the claimed conclusion instead of re-deriving the
+# conflict would certify nothing. (Truncation rather than literal flipping:
+# under full RAT checking a flipped literal can yield a clause that is
+# legitimately RAT, i.e. a different but valid proof.)
 #
-# Variables: SAT_SOLVE, DRAT_CHECK (executables), CNF (unsat instance),
-# WORK_DIR (scratch directory).
+# Variables: SAT_SOLVE, DRAT_CHECK (executables), CNF (unsat instance with no
+# unit clauses), WORK_DIR (scratch directory).
+#
+# Runs with --no-simplify so the proof is a pure search derivation;
+# simplifier-produced proofs have their own mutation test
+# (simplify_proof_mutation_check.cmake).
 file(MAKE_DIRECTORY "${WORK_DIR}")
 set(proof "${WORK_DIR}/proof.drat")
 set(mutated "${WORK_DIR}/proof_mutated.drat")
 
 execute_process(
-  COMMAND ${SAT_SOLVE} --proof ${proof} ${CNF}
+  COMMAND ${SAT_SOLVE} --no-simplify --proof ${proof} ${CNF}
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out)
 if(NOT rc EQUAL 20)
@@ -27,22 +34,17 @@ if(NOT rc EQUAL 0 OR NOT out MATCHES "s VERIFIED")
   message(FATAL_ERROR "drat_check rejected a solver-emitted proof (exit '${rc}'):\n${out}")
 endif()
 
-# Flip the sign of the first literal of the first addition step. The first
-# step of a solver proof is always an addition (deletions only ever follow
-# learned clauses), so the mutation targets a real derivation.
-file(READ ${proof} text)
-string(REGEX MATCH "^(-?)([0-9]+)" first "${text}")
-if(first STREQUAL "")
-  message(FATAL_ERROR "proof does not start with a literal:\n${text}")
+# Truncate the proof to its first addition step (the first line of a
+# no-simplify solver proof is always a learned clause) plus a claimed empty
+# clause. One learned clause cannot make the instance UP-inconsistent — the
+# CNF has no unit clauses, so nothing propagates — hence the empty clause is
+# neither RUP nor RAT and the checker must refuse the claimed conclusion.
+file(STRINGS ${proof} proof_lines)
+list(GET proof_lines 0 first_line)
+if(first_line MATCHES "^d ")
+  message(FATAL_ERROR "proof starts with a deletion, not an addition:\n${first_line}")
 endif()
-string(LENGTH "${first}" first_len)
-string(SUBSTRING "${text}" ${first_len} -1 rest)
-if(first MATCHES "^-")
-  string(SUBSTRING "${first}" 1 -1 flipped)
-else()
-  set(flipped "-${first}")
-endif()
-file(WRITE ${mutated} "${flipped}${rest}")
+file(WRITE ${mutated} "${first_line}\n0\n")
 
 execute_process(
   COMMAND ${DRAT_CHECK} ${CNF} ${mutated}

@@ -37,10 +37,12 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--proof FILE | --binary-proof FILE] [--timeout-ms N] <dimacs.cnf>\n"
+               "usage: %s [--proof FILE | --binary-proof FILE] [--timeout-ms N] [--no-simplify] "
+               "<dimacs.cnf>\n"
                "  --proof FILE         stream a text DRAT proof to FILE\n"
                "  --binary-proof FILE  stream a binary DRAT proof to FILE\n"
-               "  --timeout-ms N       give up after N ms with 's UNKNOWN' (exit 0)\n",
+               "  --timeout-ms N       give up after N ms with 's UNKNOWN' (exit 0)\n"
+               "  --no-simplify        disable inprocessing (subsumption/BVE/probing)\n",
                argv0);
   return 1;
 }
@@ -80,12 +82,15 @@ int main(int argc, char** argv) {
   const char* cnf_path = nullptr;
   const char* proof_path = nullptr;
   bool binary_proof = false;
+  bool simplify = true;
   long long timeout_ms = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--proof") == 0 || std::strcmp(argv[i], "--binary-proof") == 0) {
       if (i + 1 >= argc || proof_path != nullptr) return usage(argv[0]);
       binary_proof = std::strcmp(argv[i], "--binary-proof") == 0;
       proof_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-simplify") == 0) {
+      simplify = false;
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
       timeout_ms = std::atoll(argv[++i]);
@@ -105,7 +110,9 @@ int main(int argc, char** argv) {
 
     std::ofstream proof_out;
     std::unique_ptr<DratWriter> proof_writer;
-    CdclSolver solver;
+    CdclConfig config;
+    config.simplify = simplify;
+    CdclSolver solver(config);
     if (proof_path != nullptr) {
       proof_out.open(proof_path, binary_proof ? std::ios::binary : std::ios::out);
       if (!proof_out) throw scada::ParseError(std::string("cannot open ") + proof_path);
@@ -134,6 +141,9 @@ int main(int argc, char** argv) {
                 instance.num_vars, instance.clauses.size(), timer.seconds(),
                 static_cast<unsigned long long>(solver.stats().conflicts),
                 static_cast<unsigned long long>(solver.stats().decisions));
+    std::printf("c simplify: vars-eliminated=%llu clauses-subsumed=%llu\n",
+                static_cast<unsigned long long>(solver.stats().vars_eliminated),
+                static_cast<unsigned long long>(solver.stats().clauses_subsumed));
     switch (result) {
       case SolveResult::Sat: {
         std::printf("s SATISFIABLE\nv");
