@@ -217,6 +217,9 @@ MaxResiliencyResult ScadaAnalyzer::max_resiliency(Property property, FailureClas
   smt::FormulaBuilder builder;
   ThreatEncoder encoder(scenario_, options_.encoder, builder);
   smt::Session session(builder, options_.solver);
+  // Same cancellation wiring as verify()/enumerate_threats(): service
+  // deadlines and user cancels must be able to stop the k-sweep mid-probe.
+  session.set_interrupt(options_.interrupt);
 
   smt::Formula prop = builder.mk_false();
   switch (property) {
@@ -243,7 +246,12 @@ MaxResiliencyResult ScadaAnalyzer::max_resiliency(Property property, FailureClas
     ++out.probes;
     const SolveResult r = session.solve({selector});
     if (r == SolveResult::Unknown) {
-      throw SolverError("max_resiliency: solver returned unknown at k=" + std::to_string(k));
+      // Interrupt or solver budget cut the sweep short. Every probe below k
+      // was Unsat, so resiliency >= k-1 is proven; report that partial bound
+      // instead of throwing so deadlines degrade like every other op.
+      out.max_k = k - 1;
+      out.completed = false;
+      return out;
     }
     if (r == SolveResult::Sat) {
       out.max_k = k - 1;

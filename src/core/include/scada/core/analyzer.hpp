@@ -62,6 +62,10 @@ struct MaxResiliencyResult {
   int max_k = -1;
   /// Number of verify() calls spent in the search.
   int probes = 0;
+  /// False when an interrupt (or solver budget) cut the sweep short before a
+  /// Sat verdict decided it; max_k is then a proven lower bound, not the
+  /// exact answer.
+  bool completed = true;
 };
 
 struct AnalyzerOptions {

@@ -73,7 +73,13 @@ MaxResiliencyResult ParallelAnalyzer::max_resiliency(Property property,
   std::atomic<int> first_sat{n_probes};
   std::vector<util::CancellationToken> tokens(static_cast<std::size_t>(n_probes));
 
+  const std::atomic<bool>* external = options_.analyzer.interrupt;
   const auto probe = [&](int k) -> SolveResult {
+    // External cancellation (the scheduler's deadline watchdog) is honoured
+    // at probe start; probes already solving finish under their own tokens.
+    if (external != nullptr && external->load(std::memory_order_relaxed)) {
+      return SolveResult::Unknown;
+    }
     if (k >= first_sat.load(std::memory_order_relaxed)) return SolveResult::Unknown;  // moot
     smt::FormulaBuilder builder;
     ThreatEncoder encoder(scenario_, options_.analyzer.encoder, builder);
@@ -100,18 +106,23 @@ MaxResiliencyResult ParallelAnalyzer::max_resiliency(Property property,
   for (auto& f : futures) results.push_back(f.get());
 
   const int sat_k = first_sat.load();
-  for (int k = 0; k < std::min(sat_k, n_probes); ++k) {
-    // Probes below the winning budget are never cancelled, so Unknown here
-    // is a genuine solver failure — same contract as the serial search.
-    if (results[static_cast<std::size_t>(k)] != SolveResult::Unsat) {
-      throw SolverError("parallel max_resiliency: solver returned " +
-                        std::string(smt::to_string(results[static_cast<std::size_t>(k)])) +
-                        " at k=" + std::to_string(k));
-    }
+  // Probes below the winning budget are never cancelled, so Unknown there
+  // means an external interrupt (or solver budget) stopped that probe. The
+  // contiguous Unsat prefix is still a proven resiliency bound, so report it
+  // with completed=false instead of throwing — deadline cancellation must
+  // degrade gracefully, same contract as the serial search.
+  int proven = 0;  // budgets [0, proven) all came back Unsat
+  while (proven < std::min(sat_k, n_probes) &&
+         results[static_cast<std::size_t>(proven)] == SolveResult::Unsat) {
+    ++proven;
   }
 
   MaxResiliencyResult out;
-  if (sat_k == n_probes) {
+  if (proven < std::min(sat_k, n_probes)) {
+    out.max_k = proven - 1;
+    out.probes = proven + 1;
+    out.completed = false;
+  } else if (sat_k == n_probes) {
     out.max_k = limit;
     out.probes = n_probes;  // serial search would probe every budget
   } else {

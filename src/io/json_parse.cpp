@@ -1,9 +1,11 @@
 // JsonValue + recursive-descent JSON parser (RFC 8259). The writer half of
 // the module lives in json.cpp; this file owns the value model and parsing.
 #include <cerrno>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 
 #include "scada/io/json.hpp"
 #include "scada/util/error.hpp"
@@ -221,6 +223,34 @@ class Parser {
   throw ParseError(std::string("json: value is not ") + wanted);
 }
 
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+/// from_chars reported result_out_of_range (and left the output unmodified);
+/// saturate like strtod does. The direction follows from the sign of the
+/// decimal exponent: positive means overflow (+/-inf), negative underflow
+/// (+/-0) — a value with exponent 0 is always representable.
+double saturate_out_of_range(std::string_view s) {
+  const bool neg = !s.empty() && s.front() == '-';
+  if (neg) s.remove_prefix(1);
+  long long exp10 = 0;
+  if (const std::size_t e = s.find_first_of("eE"); e != std::string_view::npos) {
+    std::from_chars(s.data() + e + 1, s.data() + s.size(), exp10);
+    s = s.substr(0, e);
+  }
+  const std::size_t dot = s.find('.');
+  const std::string_view int_part = s.substr(0, dot);
+  if (int_part != "0") {
+    exp10 += static_cast<long long>(int_part.size()) - 1;
+  } else {
+    const std::string_view frac = dot == std::string_view::npos ? "" : s.substr(dot + 1);
+    std::size_t zeros = 0;
+    while (zeros < frac.size() && frac[zeros] == '0') ++zeros;
+    exp10 -= static_cast<long long>(zeros) + 1;
+  }
+  const double mag = exp10 > 0 ? std::numeric_limits<double>::infinity() : 0.0;
+  return neg ? -mag : mag;
+}
+#endif
+
 }  // namespace
 
 JsonValue JsonValue::make_bool(bool b) {
@@ -240,7 +270,13 @@ JsonValue JsonValue::make_number(std::string lexeme) {
 JsonValue JsonValue::make_number(std::int64_t n) { return make_number(std::to_string(n)); }
 
 JsonValue JsonValue::make_number(double d) {
+  // std::to_chars is locale-independent; snprintf("%.6g") would emit a comma
+  // decimal separator under e.g. LC_NUMERIC=de_DE and corrupt the document.
   char buf[64];
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d, std::chars_format::general, 6);
+  if (ec == std::errc{}) return make_number(std::string(buf, end));
+#endif
   std::snprintf(buf, sizeof buf, "%.6g", d);
   return make_number(std::string(buf));
 }
@@ -283,7 +319,20 @@ std::int64_t JsonValue::as_int() const {
 
 double JsonValue::as_double() const {
   if (kind_ != Kind::Number) kind_error("a number");
+  // std::from_chars always parses the C-locale '.' form the grammar
+  // guarantees; strtod honours LC_NUMERIC and under a comma-decimal locale
+  // would silently truncate "3.14" to 3.
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  double value = 0.0;
+  const char* first = scalar_.data();
+  const char* last = first + scalar_.size();
+  const auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec == std::errc::result_out_of_range && ptr == last) return saturate_out_of_range(scalar_);
+  if (ec == std::errc{} && ptr == last) return value;
+  throw ParseError("json: number '" + scalar_ + "' is not a double");
+#else
   return std::strtod(scalar_.c_str(), nullptr);
+#endif
 }
 
 const std::string& JsonValue::as_string() const {

@@ -142,6 +142,11 @@ BatchServer::Submitted BatchServer::submit_job(const JsonValue& request) {
   if (const JsonValue* v = request.find("max_conflicts")) {
     job.options.solver.max_conflicts = static_cast<std::uint64_t>(v->as_int());
   }
+  if (const JsonValue* v = request.find("portfolio")) {
+    const auto workers = v->as_int();
+    if (workers < 0 || workers > 64) throw ParseError("'portfolio' must be in [0, 64]");
+    job.options.solver.portfolio = static_cast<unsigned>(workers);
+  }
   if (const JsonValue* v = request.find("max_vectors")) {
     job.max_vectors = static_cast<std::size_t>(v->as_int());
   }

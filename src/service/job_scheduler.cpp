@@ -230,6 +230,16 @@ void JobScheduler::execute(const StatePtr& job, JobOutcome& out) {
       metrics_->counter("solver.clauses_strengthened").inc(ss.clauses_strengthened);
       metrics_->counter("solver.failed_literals").inc(ss.failed_literals);
       metrics_->counter("solver.simplify_rounds").inc(ss.simplify_rounds);
+      // Portfolio sharing effectiveness (zero when portfolio mode is off).
+      if (ss.portfolio_workers >= 2) {
+        metrics_->counter("solver.portfolio_solves").inc();
+        metrics_->counter("solver.portfolio_clauses_exported").inc(ss.portfolio_clauses_exported);
+        metrics_->counter("solver.portfolio_clauses_imported").inc(ss.portfolio_clauses_imported);
+        if (ss.portfolio_winner >= 0) {
+          metrics_->histogram("solver.portfolio_winner").record(
+              static_cast<double>(ss.portfolio_winner));
+        }
+      }
     } else {
       out.analysis.threats =
           analyzer.enumerate_threats(req.property, req.spec, req.max_vectors, req.minimal_only);

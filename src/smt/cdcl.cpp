@@ -8,12 +8,12 @@
 
 namespace scada::smt {
 
-CdclSolver::CdclSolver(CdclConfig config) : config_(config) {
+CdclSolver::CdclSolver(CdclConfig config) : config_(config), branch_rng_(config.branch_seed) {
   // Var 0 is reserved; allocate its slots so indexing by Var is direct.
   assign_.push_back(LBool::Undef);
   level_.push_back(0);
   reason_.push_back(kNoReason);
-  saved_phase_.push_back(false);
+  saved_phase_.push_back(config_.default_phase);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(false);
@@ -29,7 +29,7 @@ Var CdclSolver::new_var() {
   assign_.push_back(LBool::Undef);
   level_.push_back(0);
   reason_.push_back(kNoReason);
-  saved_phase_.push_back(false);
+  saved_phase_.push_back(config_.default_phase);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(false);
@@ -411,6 +411,24 @@ void CdclSolver::bump_clause(InternalClause& c) {
 void CdclSolver::decay_clause_activity() { clause_inc_ /= config_.clause_decay; }
 
 Lit CdclSolver::pick_branch_literal() {
+  // Portfolio diversification: with probability random_branch_freq pick a
+  // uniform unassigned variable instead of the activity maximum. The variable
+  // stays in the heap — the activity loop below skips assigned entries lazily.
+  if (branch_rng_ != 0 && config_.random_branch_freq > 0.0 && !heap_.empty()) {
+    const auto draw = [this]() noexcept {
+      branch_rng_ ^= branch_rng_ << 13;
+      branch_rng_ ^= branch_rng_ >> 7;
+      branch_rng_ ^= branch_rng_ << 17;
+      return branch_rng_;
+    };
+    if (static_cast<double>(draw() >> 11) * 0x1.0p-53 < config_.random_branch_freq) {
+      const Var v = heap_[draw() % heap_.size()];
+      const auto vi = static_cast<std::size_t>(v);
+      if (assign_[vi] == LBool::Undef && !eliminated_[vi]) {
+        return Lit{v, !saved_phase_[vi]};
+      }
+    }
+  }
   while (!heap_.empty()) {
     const Var v = heap_pop();
     const auto vi = static_cast<std::size_t>(v);
@@ -498,6 +516,7 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
   if (config_.simplify && should_simplify() && !simplify()) {
     return SolveResult::Unsat;
   }
+  if (exchange_ != nullptr && !import_shared_clauses()) return SolveResult::Unsat;
 
   std::vector<Lit> learned;
   std::uint32_t restart_count = 0;
@@ -520,6 +539,20 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
       // respect to the clauses available here, so logging additions in
       // derivation order yields a checkable DRAT trace.
       if (proof_ != nullptr) proof_->add_clause(learned);
+      // Offer the clause to the portfolio pool strictly AFTER proof logging:
+      // an importer may rely on the clause already being in the shared log.
+      // LBD uses the pre-backtrack levels, so compute it before cancel_until.
+      if (exchange_ != nullptr) {
+        lbd_scratch_.clear();
+        for (const Lit l : learned) {
+          lbd_scratch_.push_back(level_[static_cast<std::size_t>(l.var())]);
+        }
+        std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
+        const auto lbd = static_cast<std::uint32_t>(
+            std::unique(lbd_scratch_.begin(), lbd_scratch_.end()) - lbd_scratch_.begin());
+        ++stats_.clauses_exported;
+        exchange_->export_clause(learned, lbd);
+      }
       // Backtracking below the assumption prefix is fine: the loop below
       // re-places assumptions, and a now-false assumption yields Unsat there.
       cancel_until(backtrack_level);
@@ -560,6 +593,13 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
       conflicts_until_restart =
           static_cast<std::uint64_t>(luby(++restart_count)) * config_.restart_base;
       cancel_until(static_cast<std::uint32_t>(assumptions.size()));
+      // Pull foreign portfolio clauses in at level 0 — the only place the
+      // two-watched-literal invariant can be (re)established trivially. Any
+      // assumption prefix undone here is re-placed by the loop below.
+      if (exchange_ != nullptr) {
+        cancel_until(0);
+        if (!import_shared_clauses()) return SolveResult::Unsat;
+      }
       // Inprocessing between solves: vivify the learned DB every few
       // restarts (only at level 0, i.e. without an assumption prefix).
       if (config_.simplify && config_.vivify_restart_interval != 0 && assumptions.empty() &&
@@ -609,6 +649,60 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
     trail_lim_.push_back(static_cast<std::uint32_t>(trail_.size()));
     enqueue(next, kNoReason);
   }
+}
+
+bool CdclSolver::import_shared_clauses() {
+  assert(decision_level() == 0);
+  import_buffer_.clear();
+  if (exchange_->import_clauses(import_buffer_) == 0) return !unsat_;
+  for (const Clause& clause : import_buffer_) {
+    if (!import_clause(clause)) return false;
+  }
+  return true;
+}
+
+bool CdclSolver::import_clause(const Clause& clause_in) {
+  if (unsat_) return false;
+  assert(decision_level() == 0);
+
+  // Normalize against THIS worker's level-0 facts (pool clauses already have
+  // distinct literals, but every worker's root assignment differs). Unlike
+  // add_clause, nothing is proof-logged here: the exporting worker appended
+  // the clause to the shared log before publishing it, so in the merged
+  // portfolio proof it is already derived by the time we use it.
+  std::vector<Lit> lits(clause_in.begin(), clause_in.end());
+  for (const Lit l : lits) {
+    ensure_var(l.var());
+    if (eliminated_[static_cast<std::size_t>(l.var())]) restore_variable(l.var());
+  }
+  if (unsat_) return false;  // a restored clause may conflict
+  std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) { return a.code < b.code; });
+  std::vector<Lit> normalized;
+  normalized.reserve(lits.size());
+  for (std::size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i + 1 < lits.size() && lits[i + 1].code == (l.code ^ 1)) return true;  // tautology
+    if (i > 0 && lits[i - 1] == l) continue;
+    const LBool v = value(l);
+    if (v == LBool::True) return true;  // already satisfied at level 0
+    if (v == LBool::False) continue;
+    normalized.push_back(l);
+  }
+
+  ++stats_.clauses_imported;
+  if (normalized.empty()) {
+    mark_unsat();
+    return false;
+  }
+  if (normalized.size() == 1) {
+    enqueue(normalized[0], kNoReason);
+    if (propagate() != kNoReason) mark_unsat();
+    return !unsat_;
+  }
+  const ClauseRef cref = alloc_clause(std::move(normalized), true);
+  learned_refs_.push_back(cref);
+  attach_clause(cref);
+  return true;
 }
 
 bool CdclSolver::model_value(Var v) const {

@@ -37,6 +37,12 @@ struct SessionOptions {
   /// assumptions always see live variables. Composes with certify: every
   /// simplifier derivation lands in the DRAT trace. On by default.
   bool simplify = true;
+  /// CDCL only: run a clause-sharing portfolio of N diversified CDCL workers
+  /// per solve() (first Sat/Unsat wins, losers are cancelled). 0 and 1 mean
+  /// the plain serial engine. Certify composes: all workers stream into one
+  /// merged DRAT log, at the cost of forcing `simplify` off (see
+  /// portfolio.hpp for the soundness argument).
+  unsigned portfolio = 0;
   /// Z3 only: lower cardinality atoms to integer arithmetic
   /// (sum of ite(b,1,0) <= k) instead of native pseudo-Boolean atmost/atleast.
   /// This mirrors the paper's "Boolean and integer terms" encoding; the
@@ -67,6 +73,12 @@ struct SessionStats {
   /// Total solver variables allocated (Tseitin + cardinality auxiliaries);
   /// vars_eliminated / solver_vars is the BVE reduction ratio.
   std::uint64_t solver_vars = 0;
+  /// Portfolio counters (CDCL backend with SessionOptions::portfolio >= 2;
+  /// zero otherwise). Winner is the worker of the last verdict, -1 if none.
+  std::uint64_t portfolio_workers = 0;
+  std::int64_t portfolio_winner = -1;
+  std::uint64_t portfolio_clauses_exported = 0;
+  std::uint64_t portfolio_clauses_imported = 0;
 };
 
 /// Verdict of re-checking a solve result against its certificate.
@@ -117,6 +129,9 @@ std::unique_ptr<SessionImpl> make_z3_impl(const FormulaBuilder& builder,
 /// Factory implemented in session.cpp.
 std::unique_ptr<SessionImpl> make_cdcl_impl(const FormulaBuilder& builder,
                                             const SessionOptions& options);
+/// Factory implemented in portfolio.cpp (clause-sharing CDCL portfolio).
+std::unique_ptr<SessionImpl> make_portfolio_impl(const FormulaBuilder& builder,
+                                                 const SessionOptions& options);
 }  // namespace detail
 
 class Session {

@@ -173,7 +173,8 @@ Session::Session(const FormulaBuilder& builder, SessionOptions options) : builde
       impl_ = detail::make_z3_impl(builder, options);
       break;
     case Backend::Cdcl:
-      impl_ = detail::make_cdcl_impl(builder, options);
+      impl_ = options.portfolio >= 2 ? detail::make_portfolio_impl(builder, options)
+                                     : detail::make_cdcl_impl(builder, options);
       break;
   }
   if (!impl_) throw SolverError("unknown solver backend");

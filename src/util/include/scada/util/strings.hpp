@@ -30,4 +30,15 @@ namespace scada::util {
 /// True if `s` begins with `prefix`.
 [[nodiscard]] bool starts_with(std::string_view s, std::string_view prefix) noexcept;
 
+/// Checked CLI numeric parsing (from_chars-backed). Unlike atoi/atoll/atof —
+/// which silently turn garbage into 0 — these report the offending flag and
+/// token on stderr and exit(1) (the usage-error code) when `token` is missing
+/// or not (entirely) a number. `flag` is the option name, e.g. "--passes".
+[[nodiscard]] long long cli_long(const char* flag, const char* token);
+[[nodiscard]] double cli_double(const char* flag, const char* token);
+/// cli_long restricted to [min, max]; exits with the same diagnostics when
+/// the value parses but falls outside the range.
+[[nodiscard]] long long cli_long_in(const char* flag, const char* token, long long min,
+                                    long long max);
+
 }  // namespace scada::util

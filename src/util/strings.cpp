@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <charconv>
+#include <cstdio>
 #include <cstdlib>
 
 #include "scada/util/error.hpp"
@@ -68,6 +69,48 @@ double parse_double(std::string_view s) {
 
 bool starts_with(std::string_view s, std::string_view prefix) noexcept {
   return s.substr(0, prefix.size()) == prefix;
+}
+
+namespace {
+
+[[noreturn]] void cli_fail(const char* flag, const char* token, const char* what) {
+  // Exit 1 — the documented usage-error code of every CLI in this repo.
+  std::fprintf(stderr, "error: %s %s: %s\n", flag, token == nullptr ? "(missing value)" : token,
+               what);
+  std::exit(1);
+}
+
+}  // namespace
+
+long long cli_long(const char* flag, const char* token) {
+  if (token == nullptr) cli_fail(flag, token, "expected an integer");
+  const std::string_view s = trim(token);
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (s.empty() || ec != std::errc{} || ptr != s.data() + s.size()) {
+    cli_fail(flag, token, "not an integer");
+  }
+  return value;
+}
+
+double cli_double(const char* flag, const char* token) {
+  if (token == nullptr) cli_fail(flag, token, "expected a number");
+  const std::string_view s = trim(token);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (s.empty() || ec != std::errc{} || ptr != s.data() + s.size()) {
+    cli_fail(flag, token, "not a number");
+  }
+  return value;
+}
+
+long long cli_long_in(const char* flag, const char* token, long long min, long long max) {
+  const long long value = cli_long(flag, token);
+  if (value < min || value > max) {
+    std::fprintf(stderr, "error: %s %s: out of range [%lld, %lld]\n", flag, token, min, max);
+    std::exit(1);
+  }
+  return value;
 }
 
 }  // namespace scada::util

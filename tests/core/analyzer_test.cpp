@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <set>
+#include <thread>
 
 #include "scada/core/brute_force.hpp"
 #include "scada/core/case_study.hpp"
@@ -257,6 +260,92 @@ TEST(AnalyzerTest, CertifiedVerifyWithInprocessing) {
   EXPECT_TRUE(unsat.certified);
   EXPECT_GT(unsat.solver_stats.vars_eliminated, 0u);
   EXPECT_GT(unsat.solver_stats.solver_vars, 0u);
+
+  const auto sat = analyzer.verify(Property::Observability, ResiliencySpec::per_type(2, 1));
+  ASSERT_EQ(sat.result, smt::SolveResult::Sat);
+  EXPECT_TRUE(sat.certified);
+  ASSERT_TRUE(sat.threat.has_value());
+}
+
+TEST(AnalyzerTest, MaxResiliencyInterruptedReturnsPartialResult) {
+  // Regression: an interrupt during the k-sweep used to surface as a thrown
+  // SolverError because the session was never wired to options_.interrupt and
+  // Unknown was treated as a solver defect. It must degrade to a partial,
+  // non-throwing result like every other analyzer operation.
+  const ScadaScenario s = make_case_study();
+  std::atomic<bool> stop{true};
+  AnalyzerOptions options;
+  options.solver.backend = smt::Backend::Cdcl;
+  options.interrupt = &stop;
+  ScadaAnalyzer analyzer(s, options);
+
+  MaxResiliencyResult r;
+  ASSERT_NO_THROW(
+      r = analyzer.max_resiliency(Property::Observability, FailureClass::IedOnly));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.max_k, -1);  // nothing proven before the very first probe
+  EXPECT_EQ(r.probes, 1);
+
+  // Clearing the flag restores the full search on the same analyzer.
+  stop.store(false);
+  const auto full = analyzer.max_resiliency(Property::Observability, FailureClass::IedOnly);
+  EXPECT_TRUE(full.completed);
+  EXPECT_EQ(full.max_k, 3);
+}
+
+TEST(AnalyzerTest, MaxResiliencyInterruptedMidSearchKeepsProvenBound) {
+  // Fire the interrupt from a watchdog thread while the sweep runs on a
+  // larger synthetic system. Whatever probe it lands in, the result must be
+  // a sound partial bound, never a throw.
+  synth::SynthConfig config;
+  config.buses = 30;
+  config.seed = 7;
+  const ScadaScenario s = synth::generate_scenario(config);
+
+  AnalyzerOptions reference_options;
+  reference_options.solver.backend = smt::Backend::Cdcl;
+  ScadaAnalyzer reference(s, reference_options);
+  const auto full = reference.max_resiliency(Property::Observability, FailureClass::Combined);
+  ASSERT_TRUE(full.completed);
+
+  std::atomic<bool> stop{false};
+  AnalyzerOptions options = reference_options;
+  options.interrupt = &stop;
+  ScadaAnalyzer analyzer(s, options);
+  std::thread watchdog([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    stop.store(true);
+  });
+  MaxResiliencyResult partial;
+  ASSERT_NO_THROW(
+      partial = analyzer.max_resiliency(Property::Observability, FailureClass::Combined));
+  watchdog.join();
+
+  EXPECT_GE(partial.max_k, -1);
+  EXPECT_LE(partial.max_k, full.max_k);
+  if (partial.completed) {
+    // The sweep outran the watchdog — then it must be the full answer.
+    EXPECT_EQ(partial.max_k, full.max_k);
+  }
+}
+
+TEST(AnalyzerTest, PortfolioVerifyIsCertified) {
+  // End to end through the analyzer: a CDCL portfolio session (3 clause-
+  // sharing workers) must produce the same verdicts as the serial engine and
+  // its unsat verdicts must carry a certificate built from the merged DRAT
+  // log that the independent checker accepts.
+  const ScadaScenario s = make_case_study();
+  AnalyzerOptions options;
+  options.solver.backend = smt::Backend::Cdcl;
+  options.solver.portfolio = 3;
+  options.certify = true;
+  ScadaAnalyzer analyzer(s, options);
+
+  const auto unsat = analyzer.verify(Property::Observability, ResiliencySpec::per_type(1, 1));
+  ASSERT_EQ(unsat.result, smt::SolveResult::Unsat);
+  EXPECT_TRUE(unsat.certified);
+  EXPECT_EQ(unsat.solver_stats.portfolio_workers, 3u);
+  EXPECT_GE(unsat.solver_stats.portfolio_winner, 0);
 
   const auto sat = analyzer.verify(Property::Observability, ResiliencySpec::per_type(2, 1));
   ASSERT_EQ(sat.result, smt::SolveResult::Sat);

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 
 #include "scada/core/case_study.hpp"
 #include "scada/synth/generator.hpp"
@@ -81,6 +82,29 @@ TEST(ParallelAnalyzerTest, MaxResiliencyProbesCounted) {
   const auto r = parallel.max_resiliency(Property::Observability, FailureClass::IedOnly);
   EXPECT_EQ(r.max_k, 3);
   EXPECT_EQ(r.probes, 5);  // k = 0..4, sat at 4
+}
+
+TEST(ParallelAnalyzerTest, MaxResiliencyInterruptedDoesNotThrow) {
+  // Regression: Unknown probes below the winning budget used to throw
+  // SolverError; an external cancel must yield a partial result instead.
+  const ScadaScenario s = make_case_study();
+  std::atomic<bool> stop{true};
+  ParallelOptions options;
+  options.threads = 3;
+  options.analyzer.solver.backend = smt::Backend::Cdcl;
+  options.analyzer.interrupt = &stop;
+  ParallelAnalyzer parallel(s, options);
+
+  MaxResiliencyResult r;
+  ASSERT_NO_THROW(
+      r = parallel.max_resiliency(Property::Observability, FailureClass::IedOnly));
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.max_k, -1);
+
+  stop.store(false);
+  const auto full = parallel.max_resiliency(Property::Observability, FailureClass::IedOnly);
+  EXPECT_TRUE(full.completed);
+  EXPECT_EQ(full.max_k, 3);
 }
 
 TEST(ParallelAnalyzerTest, BruteForceVerifyMatchesSerialExactly) {

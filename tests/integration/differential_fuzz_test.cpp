@@ -11,7 +11,9 @@
 // evaluation for sat) by the independent checker — a fourth oracle that a
 // rejected certificate fails via ScadaError, same as a divergence. A fifth
 // configuration repeats the CDCL run with inprocessing disabled so
-// simplifier-induced divergences are attributable.
+// simplifier-induced divergences are attributable, and a sixth runs the
+// clause-sharing portfolio (3 diversified workers racing over the same CNF,
+// certification on) so sharing and winner-cancellation face the same gate.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -85,23 +87,35 @@ TEST(DifferentialFuzzTest, AllEnginesAgreeOnRandomScenarios) {
     // rather than by the encoder or search.
     AnalyzerOptions plain_options = cdcl_options;
     plain_options.solver.simplify = false;
+    // Sixth configuration: the clause-sharing portfolio, certified. Any
+    // unsoundness in clause import, winner selection, or the merged proof
+    // shows up as a divergence or a rejected certificate here.
+    AnalyzerOptions portfolio_options = cdcl_options;
+    portfolio_options.solver.portfolio = 3;
 
     ScadaAnalyzer z3(s, z3_options);
     ScadaAnalyzer cdcl(s, cdcl_options);
     ScadaAnalyzer plain(s, plain_options);
+    ScadaAnalyzer portfolio(s, portfolio_options);
     BruteForceVerifier brute(s, c.encoder);
 
     const auto z3_result = z3.verify(c.property, c.spec);
     const auto cdcl_result = cdcl.verify(c.property, c.spec);
     const auto plain_result = plain.verify(c.property, c.spec);
+    const auto portfolio_result = portfolio.verify(c.property, c.spec);
     const auto brute_result = brute.verify(c.property, c.spec);
     EXPECT_EQ(z3_result.result, cdcl_result.result) << "Z3 vs CDCL: " << describe(c);
     EXPECT_EQ(z3_result.result, brute_result.result) << "SMT vs brute: " << describe(c);
     EXPECT_EQ(cdcl_result.result, plain_result.result)
         << "CDCL simplify on vs off: " << describe(c);
+    EXPECT_EQ(cdcl_result.result, portfolio_result.result)
+        << "CDCL serial vs portfolio: " << describe(c);
     EXPECT_TRUE(cdcl_result.certified) << "CDCL verdict without certificate: " << describe(c);
     EXPECT_TRUE(plain_result.certified)
         << "no-simplify CDCL verdict without certificate: " << describe(c);
+    EXPECT_TRUE(portfolio_result.certified)
+        << "portfolio verdict without certificate: " << describe(c);
+    EXPECT_EQ(portfolio_result.solver_stats.portfolio_workers, 3u) << describe(c);
   }
 }
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <cmath>
+
 #include "scada/core/case_study.hpp"
 
 namespace scada::io {
@@ -27,6 +30,41 @@ TEST(JsonTest, ThreatList) {
   const std::string json = threats_to_json(two);
   EXPECT_EQ(json.front(), '[');
   EXPECT_NE(json.find("},{"), std::string::npos);
+}
+
+TEST(JsonTest, NumbersAreLocaleIndependent) {
+  // Regression: as_double used strtod and make_number(double) used
+  // snprintf("%.6g"); both honour LC_NUMERIC, so under a comma-decimal
+  // locale "3.14" silently truncated to 3 on parse and doubles serialized
+  // as "3,14" — corrupting every protocol message. The checks below must
+  // hold no matter which locale is active; when de_DE is installed we
+  // actually flip into it to prove the point.
+  const bool have_de = std::setlocale(LC_NUMERIC, "de_DE.UTF-8") != nullptr ||
+                       std::setlocale(LC_NUMERIC, "de_DE.utf8") != nullptr;
+  const struct Restore {
+    ~Restore() { std::setlocale(LC_NUMERIC, "C"); }
+  } restore;
+  if (!have_de) {
+    GTEST_LOG_(INFO) << "de_DE locale not installed; running under the C locale";
+  }
+
+  const JsonValue doc = parse_json(R"({"x":3.14,"e":-2.5e3,"i":42})");
+  EXPECT_DOUBLE_EQ(doc.find("x")->as_double(), 3.14);
+  EXPECT_DOUBLE_EQ(doc.find("e")->as_double(), -2500.0);
+  EXPECT_EQ(doc.find("i")->as_int(), 42);
+
+  EXPECT_EQ(JsonValue::make_number(0.5).dump(), "0.5");
+  EXPECT_EQ(JsonValue::make_number(3.0).dump(), "3");
+  EXPECT_EQ(JsonValue::make_number(-12.25).dump(), "-12.25");
+
+  // Round trip: a serialized double must re-parse to the same value.
+  const double pi6 = 3.14159;
+  EXPECT_DOUBLE_EQ(parse_json(JsonValue::make_number(pi6).dump()).as_double(), pi6);
+
+  // Out-of-range magnitudes saturate like strtod instead of throwing.
+  EXPECT_TRUE(std::isinf(parse_json("1e999").as_double()));
+  EXPECT_LT(parse_json("-1e999").as_double(), 0.0);
+  EXPECT_EQ(parse_json("1e-999").as_double(), 0.0);
 }
 
 TEST(JsonTest, VerificationSatAndUnsat) {

@@ -62,6 +62,41 @@ TEST(StringsTest, ParseDoubleInvalidThrows) {
   EXPECT_THROW((void)parse_double(""), ParseError);
 }
 
+TEST(StringsTest, CliParsingAcceptsValidTokens) {
+  EXPECT_EQ(cli_long("--n", "42"), 42);
+  EXPECT_EQ(cli_long("--n", "-7"), -7);
+  EXPECT_EQ(cli_long("--n", " 13 "), 13);  // surrounding whitespace tolerated
+  EXPECT_DOUBLE_EQ(cli_double("--x", "2.5"), 2.5);
+  EXPECT_DOUBLE_EQ(cli_double("--x", "-0.25"), -0.25);
+  EXPECT_EQ(cli_long_in("--k", "5", 1, 10), 5);
+  EXPECT_EQ(cli_long_in("--k", "1", 1, 10), 1);
+  EXPECT_EQ(cli_long_in("--k", "10", 1, 10), 10);
+}
+
+// Death tests: the cli_* helpers exit(1) — the tools' usage-error code —
+// instead of silently yielding 0 the way atoi did.
+TEST(StringsDeathTest, CliLongRejectsGarbage) {
+  EXPECT_EXIT((void)cli_long("--passes", "abc"), ::testing::ExitedWithCode(1), "--passes abc");
+  EXPECT_EXIT((void)cli_long("--passes", "12x"), ::testing::ExitedWithCode(1), "--passes 12x");
+  EXPECT_EXIT((void)cli_long("--passes", ""), ::testing::ExitedWithCode(1), "--passes");
+  EXPECT_EXIT((void)cli_long("--passes", nullptr), ::testing::ExitedWithCode(1),
+              "missing value");
+}
+
+TEST(StringsDeathTest, CliDoubleRejectsGarbage) {
+  EXPECT_EXIT((void)cli_double("--min-hit-rate", "fast"), ::testing::ExitedWithCode(1),
+              "--min-hit-rate fast");
+  EXPECT_EXIT((void)cli_double("--min-hit-rate", nullptr), ::testing::ExitedWithCode(1),
+              "missing value");
+}
+
+TEST(StringsDeathTest, CliLongInRejectsOutOfRange) {
+  EXPECT_EXIT((void)cli_long_in("--portfolio", "65", 1, 64), ::testing::ExitedWithCode(1),
+              "out of range");
+  EXPECT_EXIT((void)cli_long_in("--portfolio", "0", 1, 64), ::testing::ExitedWithCode(1),
+              "out of range");
+}
+
 TEST(StringsTest, StartsWith) {
   EXPECT_TRUE(starts_with("# comment", "#"));
   EXPECT_FALSE(starts_with("", "#"));

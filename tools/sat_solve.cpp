@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -30,7 +31,9 @@
 #include "scada/smt/cdcl.hpp"
 #include "scada/smt/dimacs.hpp"
 #include "scada/smt/drat.hpp"
+#include "scada/smt/portfolio.hpp"
 #include "scada/util/error.hpp"
+#include "scada/util/strings.hpp"
 #include "scada/util/timer.hpp"
 
 namespace {
@@ -38,11 +41,14 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--proof FILE | --binary-proof FILE] [--timeout-ms N] [--no-simplify] "
-               "<dimacs.cnf>\n"
+               "[--portfolio N] <dimacs.cnf>\n"
                "  --proof FILE         stream a text DRAT proof to FILE\n"
                "  --binary-proof FILE  stream a binary DRAT proof to FILE\n"
                "  --timeout-ms N       give up after N ms with 's UNKNOWN' (exit 0)\n"
-               "  --no-simplify        disable inprocessing (subsumption/BVE/probing)\n",
+               "  --no-simplify        disable inprocessing (subsumption/BVE/probing)\n"
+               "  --portfolio N        race N diversified clause-sharing workers;\n"
+               "                       with --proof, forces --no-simplify and merges\n"
+               "                       all workers' derivations into one DRAT log\n",
                argv0);
   return 1;
 }
@@ -84,6 +90,8 @@ int main(int argc, char** argv) {
   bool binary_proof = false;
   bool simplify = true;
   long long timeout_ms = 0;
+  unsigned portfolio = 1;
+  const auto next_token = [&](int& i) { return i + 1 < argc ? argv[++i] : nullptr; };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--proof") == 0 || std::strcmp(argv[i], "--binary-proof") == 0) {
       if (i + 1 >= argc || proof_path != nullptr) return usage(argv[0]);
@@ -92,9 +100,11 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--no-simplify") == 0) {
       simplify = false;
     } else if (std::strcmp(argv[i], "--timeout-ms") == 0) {
-      if (i + 1 >= argc) return usage(argv[0]);
-      timeout_ms = std::atoll(argv[++i]);
-      if (timeout_ms <= 0) return usage(argv[0]);
+      timeout_ms = scada::util::cli_long_in("--timeout-ms", next_token(i), 1,
+                                            std::numeric_limits<long long>::max());
+    } else if (std::strcmp(argv[i], "--portfolio") == 0) {
+      portfolio =
+          static_cast<unsigned>(scada::util::cli_long_in("--portfolio", next_token(i), 1, 64));
     } else if (cnf_path == nullptr) {
       cnf_path = argv[i];
     } else {
@@ -110,9 +120,10 @@ int main(int argc, char** argv) {
 
     std::ofstream proof_out;
     std::unique_ptr<DratWriter> proof_writer;
-    CdclConfig config;
-    config.simplify = simplify;
-    CdclSolver solver(config);
+    PortfolioConfig config;
+    config.workers = portfolio;
+    config.base.simplify = simplify;
+    PortfolioSolver solver(config);
     if (proof_path != nullptr) {
       proof_out.open(proof_path, binary_proof ? std::ios::binary : std::ios::out);
       if (!proof_out) throw scada::ParseError(std::string("cannot open ") + proof_path);
@@ -137,13 +148,20 @@ int main(int argc, char** argv) {
     scada::util::WallTimer timer;
     const SolveResult result = solver.solve();
     watchdog.reset();  // disarm before reporting
+    const CdclStats& stats = solver.winner_stats();
     std::printf("c vars=%d clauses=%zu time=%.3fs conflicts=%llu decisions=%llu\n",
                 instance.num_vars, instance.clauses.size(), timer.seconds(),
-                static_cast<unsigned long long>(solver.stats().conflicts),
-                static_cast<unsigned long long>(solver.stats().decisions));
+                static_cast<unsigned long long>(stats.conflicts),
+                static_cast<unsigned long long>(stats.decisions));
     std::printf("c simplify: vars-eliminated=%llu clauses-subsumed=%llu\n",
-                static_cast<unsigned long long>(solver.stats().vars_eliminated),
-                static_cast<unsigned long long>(solver.stats().clauses_subsumed));
+                static_cast<unsigned long long>(stats.vars_eliminated),
+                static_cast<unsigned long long>(stats.clauses_subsumed));
+    if (solver.num_workers() >= 2) {
+      const PortfolioResultStats p = solver.stats();
+      std::printf("c portfolio: workers=%u winner=%d shared=%llu imported=%llu\n", p.workers,
+                  p.winner, static_cast<unsigned long long>(p.pool.accepted),
+                  static_cast<unsigned long long>(p.clauses_imported));
+    }
     switch (result) {
       case SolveResult::Sat: {
         std::printf("s SATISFIABLE\nv");

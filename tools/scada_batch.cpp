@@ -20,6 +20,7 @@
 // Exit codes: 0 ok; 2 when --check thresholds are violated; 1 usage error.
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "scada/io/json.hpp"
 #include "scada/service/batch_server.hpp"
 #include "scada/util/rng.hpp"
+#include "scada/util/strings.hpp"
 #include "scada/util/timer.hpp"
 
 namespace {
@@ -125,26 +127,23 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   BatchConfig config;
   for (int i = 1; i < argc; ++i) {
+    // Checked numeric parsing: a malformed token reports the flag and exits 1
+    // instead of silently becoming 0 (the old atoi behaviour).
     const auto num_arg = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
-    const char* v = nullptr;
     if (std::strcmp(argv[i], "--requests") == 0) {
-      if ((v = num_arg()) == nullptr) return usage(argv[0]);
-      config.requests = static_cast<std::size_t>(std::atoll(v));
+      config.requests =
+          static_cast<std::size_t>(util::cli_long_in("--requests", num_arg(), 1, 1000000));
     } else if (std::strcmp(argv[i], "--passes") == 0) {
-      if ((v = num_arg()) == nullptr) return usage(argv[0]);
-      config.passes = std::atoi(v);
+      config.passes = static_cast<int>(util::cli_long_in("--passes", num_arg(), 1, 1000));
     } else if (std::strcmp(argv[i], "--threads") == 0) {
-      if ((v = num_arg()) == nullptr) return usage(argv[0]);
-      config.threads = static_cast<std::size_t>(std::atoll(v));
+      config.threads = static_cast<std::size_t>(util::cli_long_in("--threads", num_arg(), 0, 4096));
     } else if (std::strcmp(argv[i], "--seed") == 0) {
-      if ((v = num_arg()) == nullptr) return usage(argv[0]);
-      config.seed = static_cast<std::uint64_t>(std::atoll(v));
+      config.seed = static_cast<std::uint64_t>(
+          util::cli_long_in("--seed", num_arg(), 0, std::numeric_limits<long long>::max()));
     } else if (std::strcmp(argv[i], "--min-hit-rate") == 0) {
-      if ((v = num_arg()) == nullptr) return usage(argv[0]);
-      config.check_hit_rate = std::atof(v);
+      config.check_hit_rate = util::cli_double("--min-hit-rate", num_arg());
     } else if (std::strcmp(argv[i], "--min-speedup") == 0) {
-      if ((v = num_arg()) == nullptr) return usage(argv[0]);
-      config.check_speedup = std::atof(v);
+      config.check_speedup = util::cli_double("--min-speedup", num_arg());
     } else if (std::strcmp(argv[i], "--emit") == 0) {
       config.emit = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {

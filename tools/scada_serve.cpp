@@ -16,6 +16,7 @@
 
 #include "scada/service/batch_server.hpp"
 #include "scada/util/logging.hpp"
+#include "scada/util/strings.hpp"
 
 namespace {
 
@@ -33,18 +34,15 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   scada::service::ServerOptions options;
   for (int i = 1; i < argc; ++i) {
-    const auto int_arg = [&](long long& out) {
-      if (i + 1 >= argc) return false;
-      out = std::atoll(argv[++i]);
-      return out >= 0;
-    };
-    long long n = 0;
+    // Checked numeric parsing: malformed tokens report the flag and exit 1
+    // instead of silently becoming 0 (the old atoll behaviour).
+    const auto num_arg = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
     if (std::strcmp(argv[i], "--threads") == 0) {
-      if (!int_arg(n)) return usage(argv[0]);
-      options.scheduler.threads = static_cast<std::size_t>(n);
+      options.scheduler.threads =
+          static_cast<std::size_t>(scada::util::cli_long_in("--threads", num_arg(), 0, 4096));
     } else if (std::strcmp(argv[i], "--cache-capacity") == 0) {
-      if (!int_arg(n)) return usage(argv[0]);
-      options.scheduler.cache_capacity = static_cast<std::size_t>(n);
+      options.scheduler.cache_capacity = static_cast<std::size_t>(
+          scada::util::cli_long_in("--cache-capacity", num_arg(), 0, 100000000));
     } else if (std::strcmp(argv[i], "--default-backend") == 0) {
       if (i + 1 >= argc) return usage(argv[0]);
       const char* name = argv[++i];
