@@ -1,0 +1,201 @@
+// Network transport benchmarks (google-benchmark): what the TCP framing
+// layer costs on top of the in-process BatchServer. Round-trip latency for
+// a cache-hit verify over loopback, pipelined batch throughput with the
+// responses streaming back in request order, and the same batch through
+// handle_line for an apples-to-apples transport-overhead baseline.
+//
+// The run writes a BENCH_net.json summary (same directory) with the
+// headline numbers — loopback round-trip latency and the over-the-wire vs
+// in-process throughput ratio — alongside the other BENCH_*.json files.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "scada/service/batch_server.hpp"
+#include "scada/service/net_io.hpp"
+#include "scada/service/net_server.hpp"
+#include "scada/util/timer.hpp"
+
+namespace {
+
+using namespace scada;
+
+std::string verify_line(int id) {
+  std::ostringstream line;
+  line << "{\"id\":" << id
+       << ",\"op\":\"verify\",\"scenario\":{\"builtin\":\"case_study_fig3\"},"
+          "\"property\":\"observability\",\"spec\":{\"k1\":1,\"k2\":1}}\n";
+  return line.str();
+}
+
+/// A NetServer on an ephemeral loopback port with run() on its own thread,
+/// plus one connected client. Construction blocks until the connect lands.
+struct LoopbackHarness {
+  service::NetServer server;
+  std::thread run_thread;
+  service::net::Socket client;
+
+  LoopbackHarness() {
+    server.start();
+    run_thread = std::thread([this] { server.run(); });
+    service::net::Endpoint endpoint;
+    endpoint.port = server.port();
+    client = service::net::connect_with_retry(endpoint, {});
+  }
+
+  ~LoopbackHarness() {
+    client.close();
+    server.request_shutdown();
+    run_thread.join();
+  }
+};
+
+/// One request on the wire, one response line back. The first round trip
+/// (untimed) warms the verdict cache, so timed iterations measure the
+/// transport: framing, two socket hops, and a cache lookup.
+void BM_NetRoundTripCached(benchmark::State& state) {
+  LoopbackHarness harness;
+  service::net::LineReader reader(harness.client, 1 << 20, std::chrono::milliseconds(10000));
+  const std::string request = verify_line(0);
+  std::string response;
+
+  const auto round_trip = [&] {
+    if (!service::net::write_all(harness.client, request)) {
+      state.SkipWithError("connection lost");
+      return;
+    }
+    if (reader.read_line(response) != service::net::LineReader::Status::Line) {
+      state.SkipWithError("no response");
+    }
+  };
+
+  round_trip();  // warm: the verdict is cached for every timed iteration
+  for (auto _ : state) {
+    round_trip();
+    benchmark::DoNotOptimize(response);
+  }
+}
+BENCHMARK(BM_NetRoundTripCached)->Unit(benchmark::kMicrosecond);
+
+/// `requests` identical cache-hit verifies written in one burst, then all
+/// responses read back — the pipelined shape scada_batch --connect uses.
+void BM_NetPipelinedBatch(benchmark::State& state) {
+  LoopbackHarness harness;
+  service::net::LineReader reader(harness.client, 1 << 20, std::chrono::milliseconds(10000));
+  const int requests = static_cast<int>(state.range(0));
+  std::string batch;
+  for (int i = 0; i < requests; ++i) batch += verify_line(i);
+  std::string response;
+
+  // Warm the cache once so timed passes measure transport, not solving.
+  if (!service::net::write_all(harness.client, verify_line(-1)) ||
+      reader.read_line(response) != service::net::LineReader::Status::Line) {
+    state.SkipWithError("warmup failed");
+    return;
+  }
+
+  std::size_t served = 0;
+  for (auto _ : state) {
+    if (!service::net::write_all(harness.client, batch)) {
+      state.SkipWithError("connection lost");
+      break;
+    }
+    for (int i = 0; i < requests; ++i) {
+      if (reader.read_line(response) != service::net::LineReader::Status::Line) {
+        state.SkipWithError("short response stream");
+        break;
+      }
+      ++served;
+    }
+    benchmark::DoNotOptimize(response);
+  }
+  state.counters["jobs_per_s"] =
+      benchmark::Counter(static_cast<double>(served), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_NetPipelinedBatch)->Arg(64)->ArgName("requests")->Unit(benchmark::kMillisecond);
+
+/// Baseline for the pipelined benchmark: the same warm batch through
+/// handle_line with no socket in the path.
+void BM_InProcessBatch(benchmark::State& state) {
+  service::BatchServer server;
+  const int requests = static_cast<int>(state.range(0));
+  (void)server.handle_line(verify_line(-1));  // warm
+  std::size_t served = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < requests; ++i) {
+      benchmark::DoNotOptimize(server.handle_line(verify_line(i)));
+      ++served;
+    }
+  }
+  state.counters["jobs_per_s"] =
+      benchmark::Counter(static_cast<double>(served), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_InProcessBatch)->Arg(64)->ArgName("requests")->Unit(benchmark::kMillisecond);
+
+/// Headline numbers for BENCH_net.json, measured directly.
+void write_summary(const char* path) {
+  constexpr int kRequests = 256;
+
+  double wire_ms = 0.0;
+  double round_trip_us = 0.0;
+  {
+    LoopbackHarness harness;
+    service::net::LineReader reader(harness.client, 1 << 20, std::chrono::milliseconds(10000));
+    std::string response;
+    // Warm pass.
+    (void)service::net::write_all(harness.client, verify_line(-1));
+    (void)reader.read_line(response);
+
+    util::WallTimer rt_timer;
+    constexpr int kRoundTrips = 200;
+    for (int i = 0; i < kRoundTrips; ++i) {
+      (void)service::net::write_all(harness.client, verify_line(0));
+      (void)reader.read_line(response);
+    }
+    round_trip_us = rt_timer.millis() * 1000.0 / kRoundTrips;
+
+    std::string batch;
+    for (int i = 0; i < kRequests; ++i) batch += verify_line(i);
+    util::WallTimer wire_timer;
+    (void)service::net::write_all(harness.client, batch);
+    for (int i = 0; i < kRequests; ++i) (void)reader.read_line(response);
+    wire_ms = wire_timer.millis();
+  }
+
+  service::BatchServer in_process;
+  (void)in_process.handle_line(verify_line(-1));
+  util::WallTimer local_timer;
+  for (int i = 0; i < kRequests; ++i) (void)in_process.handle_line(verify_line(i));
+  const double local_ms = local_timer.millis();
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_net: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\"bench\":\"net\",\"requests\":%d,"
+               "\"round_trip_us\":%.2f,"
+               "\"wire_pass_ms\":%.3f,\"in_process_pass_ms\":%.3f,"
+               "\"wire_jobs_per_s\":%.1f,\"in_process_jobs_per_s\":%.1f,"
+               "\"transport_overhead\":%.2f}\n",
+               kRequests, round_trip_us, wire_ms, local_ms, kRequests * 1000.0 / wire_ms,
+               kRequests * 1000.0 / local_ms, local_ms > 0.0 ? wire_ms / local_ms : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s (round trip %.1f us, wire %.1f ms vs in-process %.1f ms for %d)\n", path,
+              round_trip_us, wire_ms, local_ms, kRequests);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  write_summary("BENCH_net.json");
+  return 0;
+}

@@ -60,10 +60,15 @@ std::shared_ptr<const core::ScadaScenario> BatchServer::resolve_scenario(
     const JsonValue& source) {
   if (!source.is_object()) throw ParseError("'scenario' must be an object");
   // Memoized by the serialized source spec: one parse/generation per
-  // distinct fleet member per server lifetime.
+  // distinct fleet member per server lifetime. The lock covers only the
+  // lookup/insert; two connections racing on the same cold key may both
+  // generate, and the first insert wins for everyone after.
   const std::string memo_key = source.dump();
-  if (const auto hit = scenario_memo_.find(memo_key); hit != scenario_memo_.end()) {
-    return hit->second;
+  {
+    const std::lock_guard<std::mutex> lock(memo_mutex_);
+    if (const auto hit = scenario_memo_.find(memo_key); hit != scenario_memo_.end()) {
+      return hit->second;
+    }
   }
 
   std::shared_ptr<const core::ScadaScenario> scenario;
@@ -102,8 +107,8 @@ std::shared_ptr<const core::ScadaScenario> BatchServer::resolve_scenario(
   } else {
     throw ParseError("'scenario' needs one of builtin, case, synth");
   }
-  scenario_memo_.emplace(memo_key, scenario);
-  return scenario;
+  const std::lock_guard<std::mutex> lock(memo_mutex_);
+  return scenario_memo_.emplace(memo_key, std::move(scenario)).first->second;
 }
 
 BatchServer::Submitted BatchServer::submit_job(const JsonValue& request) {
@@ -202,31 +207,61 @@ std::string BatchServer::render_error(const std::string& id_json, const std::str
   return "{\"id\":" + id_json + ",\"ok\":false,\"error\":" + io::json_quote(message) + "}";
 }
 
-std::string BatchServer::handle_line(const std::string& line) {
-  std::string id_json = "null";
+BatchServer::Dispatch BatchServer::dispatch_line(const std::string& line) {
+  Dispatch dispatch;
   try {
     const JsonValue request = io::parse_json(line);
     if (!request.is_object()) throw ParseError("request must be a JSON object");
-    id_json = id_of(request);
+    dispatch.id_json = id_of(request);
     const JsonValue* op = request.find("op");
     const std::string op_name = op != nullptr ? op->as_string() : "verify";
-    if (op_name == "stats") return render_stats(id_json);
-    if (op_name == "barrier") {
-      return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"barrier\"}";
-    }
-    if (op_name == "shutdown") {
-      return "{\"id\":" + id_json + ",\"ok\":true,\"op\":\"shutdown\"}";
-    }
-    if (op_name != "verify" && op_name != "enumerate") {
+    if (op_name == "stats") {
+      dispatch.kind = Dispatch::Kind::Stats;
+    } else if (op_name == "barrier") {
+      dispatch.kind = Dispatch::Kind::Barrier;
+    } else if (op_name == "shutdown") {
+      dispatch.kind = Dispatch::Kind::Shutdown;
+    } else if (op_name == "verify" || op_name == "enumerate") {
+      dispatch.submitted = submit_job(request);
+      dispatch.kind = Dispatch::Kind::Job;
+    } else {
       throw ParseError("unknown op '" + op_name + "'");
     }
-    const Submitted submitted = submit_job(request);
-    JobOutcome outcome = submitted.ticket.outcome.get();
-    outcome.coalesced = submitted.ticket.coalesced;
-    return render_outcome(submitted, outcome);
   } catch (const std::exception& e) {
-    return render_error(id_json, e.what());
+    dispatch.kind = Dispatch::Kind::Error;
+    dispatch.response = render_error(dispatch.id_json, e.what());
   }
+  return dispatch;
+}
+
+std::string BatchServer::render_control(const Dispatch& dispatch) {
+  switch (dispatch.kind) {
+    case Dispatch::Kind::Stats:
+      return render_stats(dispatch.id_json);
+    case Dispatch::Kind::Barrier:
+      return "{\"id\":" + dispatch.id_json + ",\"ok\":true,\"op\":\"barrier\"}";
+    case Dispatch::Kind::Shutdown:
+      return "{\"id\":" + dispatch.id_json + ",\"ok\":true,\"op\":\"shutdown\"}";
+    case Dispatch::Kind::Error:
+      return dispatch.response;
+    case Dispatch::Kind::Job:
+      break;
+  }
+  throw ConfigError("render_control on a job dispatch");
+}
+
+bool BatchServer::is_blank(const std::string& line) noexcept {
+  return line.find_first_not_of(" \t\r") == std::string::npos;
+}
+
+std::string BatchServer::handle_line(const std::string& line) {
+  Dispatch dispatch = dispatch_line(line);
+  if (dispatch.kind == Dispatch::Kind::Job) {
+    JobOutcome outcome = dispatch.submitted.ticket.outcome.get();
+    outcome.coalesced = dispatch.submitted.ticket.coalesced;
+    return render_outcome(dispatch.submitted, outcome);
+  }
+  return render_control(dispatch);
 }
 
 std::size_t BatchServer::serve(std::istream& in, std::ostream& out) {
@@ -249,37 +284,19 @@ std::size_t BatchServer::serve(std::istream& in, std::ostream& out) {
 
   std::string line;
   while (std::getline(in, line)) {
-    if (line.empty() || line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    if (is_blank(line)) continue;
     ++served;
-    std::string id_json = "null";
-    try {
-      const JsonValue request = io::parse_json(line);
-      if (!request.is_object()) throw ParseError("request must be a JSON object");
-      id_json = id_of(request);
-      const JsonValue* op = request.find("op");
-      const std::string op_name = op != nullptr ? op->as_string() : "verify";
-      if (op_name == "verify" || op_name == "enumerate") {
-        pending.push_back(submit_job(request));
-        flush_ready(/*wait_all=*/false);  // stream completed heads
-        continue;
-      }
-      // Control ops act as barriers: all prior responses land first, so a
-      // "stats" reply reflects every job submitted before it.
-      flush_ready(/*wait_all=*/true);
-      if (op_name == "stats") {
-        out << render_stats(id_json) << "\n" << std::flush;
-      } else if (op_name == "barrier") {
-        out << "{\"id\":" << id_json << ",\"ok\":true,\"op\":\"barrier\"}\n" << std::flush;
-      } else if (op_name == "shutdown") {
-        out << "{\"id\":" << id_json << ",\"ok\":true,\"op\":\"shutdown\"}\n" << std::flush;
-        return served;
-      } else {
-        throw ParseError("unknown op '" + op_name + "'");
-      }
-    } catch (const std::exception& e) {
-      flush_ready(/*wait_all=*/true);
-      out << render_error(id_json, e.what()) << "\n" << std::flush;
+    Dispatch dispatch = dispatch_line(line);
+    if (dispatch.kind == Dispatch::Kind::Job) {
+      pending.push_back(std::move(dispatch.submitted));
+      flush_ready(/*wait_all=*/false);  // stream completed heads
+      continue;
     }
+    // Control ops (and errors) act as barriers: all prior responses land
+    // first, so a "stats" reply reflects every job submitted before it.
+    flush_ready(/*wait_all=*/true);
+    out << render_control(dispatch) << "\n" << std::flush;
+    if (dispatch.kind == Dispatch::Kind::Shutdown) return served;
   }
   flush_ready(/*wait_all=*/true);
   return served;

@@ -1,6 +1,7 @@
 // BatchServer: the line-delimited JSON front end of the fleet-audit service
-// (exposed as tools/scada_serve; driven in-process by tools/scada_batch and
-// the service tests).
+// (exposed as tools/scada_serve over stdio and, via service::NetServer, over
+// TCP / Unix-domain sockets; driven in-process by tools/scada_batch and the
+// service tests).
 //
 // Protocol — one JSON object per line on the input stream, one JSON object
 // per line on the output stream. Responses are emitted in request order
@@ -39,6 +40,7 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "scada/io/json.hpp"
@@ -56,6 +58,33 @@ struct ServerOptions {
 
 class BatchServer {
  public:
+  /// A job op accepted into the scheduler, with what rendering needs later.
+  struct Submitted {
+    JobScheduler::Ticket ticket;
+    std::string id_json = "null";  ///< echoed "id", already serialized
+    JobKind kind = JobKind::Verify;
+    core::Property property = core::Property::Observability;
+    core::ResiliencySpec spec;
+  };
+
+  /// The classified result of dispatching one request line. Every front end
+  /// (the stdio loop, handle_line, the socket framing loop) goes through
+  /// dispatch_line + render_outcome/render_control, so all of them parse,
+  /// validate, submit, and render through identical code.
+  struct Dispatch {
+    enum class Kind {
+      Job,       ///< accepted into the scheduler; render when the future lands
+      Barrier,   ///< respond after all prior jobs on this stream flushed
+      Stats,     ///< like Barrier, then render a fresh stats snapshot
+      Shutdown,  ///< like Barrier, respond, then close the stream
+      Error,     ///< malformed request; `response` is the rendered error line
+    };
+    Kind kind = Kind::Error;
+    Submitted submitted;           ///< Kind::Job only
+    std::string id_json = "null";  ///< echoed "id" for control-op rendering
+    std::string response;          ///< Kind::Error only (pre-rendered)
+  };
+
   explicit BatchServer(ServerOptions options = {});
 
   /// Reads requests from `in` until EOF or a shutdown op, writing one
@@ -68,31 +97,40 @@ class BatchServer {
   /// in-process batch driver.
   [[nodiscard]] std::string handle_line(const std::string& line);
 
+  /// Parses + classifies one request line; job ops are submitted to the
+  /// scheduler as a side effect. Never throws: malformed input comes back
+  /// as Kind::Error with the response already rendered. Thread-safe — the
+  /// network transport calls this from one thread per connection.
+  [[nodiscard]] Dispatch dispatch_line(const std::string& line);
+
+  /// Renders the response line for a finished job (no trailing newline).
+  [[nodiscard]] std::string render_outcome(const Submitted& submitted,
+                                           const JobOutcome& outcome) const;
+
+  /// Renders the response line for a non-Job dispatch. The caller is
+  /// responsible for barrier semantics (flush prior responses first) so a
+  /// stats snapshot reflects every job submitted before it.
+  [[nodiscard]] std::string render_control(const Dispatch& dispatch);
+
+  /// True for lines the stream loops skip without dispatching.
+  [[nodiscard]] static bool is_blank(const std::string& line) noexcept;
+
   [[nodiscard]] JobScheduler& scheduler() noexcept { return scheduler_; }
 
  private:
-  /// A job op accepted into the scheduler, with what rendering needs later.
-  struct Submitted {
-    JobScheduler::Ticket ticket;
-    std::string id_json = "null";  ///< echoed "id", already serialized
-    JobKind kind = JobKind::Verify;
-    core::Property property = core::Property::Observability;
-    core::ResiliencySpec spec;
-  };
-
   /// Resolves (and memoizes) the scenario named by the request's
-  /// "scenario" member.
+  /// "scenario" member. Thread-safe.
   std::shared_ptr<const core::ScadaScenario> resolve_scenario(const io::JsonValue& source);
 
   [[nodiscard]] Submitted submit_job(const io::JsonValue& request);
-  [[nodiscard]] std::string render_outcome(const Submitted& submitted,
-                                           const JobOutcome& outcome) const;
   [[nodiscard]] std::string render_stats(const std::string& id_json);
   [[nodiscard]] static std::string render_error(const std::string& id_json,
                                                 const std::string& message);
 
   ServerOptions options_;
   JobScheduler scheduler_;
+  /// Guards scenario_memo_: connection threads dispatch concurrently.
+  std::mutex memo_mutex_;
   std::map<std::string, std::shared_ptr<const core::ScadaScenario>> scenario_memo_;
 };
 

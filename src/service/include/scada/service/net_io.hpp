@@ -1,0 +1,149 @@
+// POSIX socket plumbing for the fleet-audit network transport: an RAII fd,
+// endpoint parsing ("host:port", bare port, or a Unix-domain path),
+// EINTR-safe and partial-write-safe I/O helpers, poll-based read timeouts,
+// newline framing with an oversized-frame guard, and the bounded
+// exponential-backoff connect policy used by `scada_batch --connect`.
+//
+// Everything here is transport mechanics with no protocol knowledge; the
+// framing loop that ties it to BatchServer lives in net_server.cpp. All
+// blocking entry points are EINTR-transparent: a signal that interrupts a
+// poll/read/write is retried, never surfaced as a spurious error.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace scada::service::net {
+
+/// Where a server listens or a client connects. Exactly one of the two
+/// forms: TCP (host + port) when `unix_path` is empty, AF_UNIX otherwise.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral (server side)
+  std::string unix_path;
+
+  [[nodiscard]] bool is_unix() const noexcept { return !unix_path.empty(); }
+  /// "127.0.0.1:4700" or "unix:/tmp/scada.sock" — for logs and errors.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Parses "[host:]port" (TCP). A bare "4700" listens on 127.0.0.1; "0" asks
+/// the kernel for an ephemeral port. Throws ParseError on malformed input.
+[[nodiscard]] Endpoint parse_hostport(std::string_view text);
+
+/// Owning socket fd. Move-only; close() is idempotent and EINTR-proof.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+  /// Releases ownership without closing.
+  [[nodiscard]] int release() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `endpoint`. For TCP, SO_REUSEADDR is set and an
+/// ephemeral port request (port 0) is resolved — `bound_port` reports the
+/// actual port. For AF_UNIX a stale socket file at the path is unlinked
+/// first. Throws ScadaError on failure.
+[[nodiscard]] Socket listen_on(const Endpoint& endpoint, std::uint16_t* bound_port = nullptr);
+
+/// Blocks up to `timeout` for an incoming connection (forever when nullopt).
+/// Returns an invalid Socket on timeout. Throws ScadaError on a fatal accept
+/// failure (per-connection failures like ECONNABORTED are retried).
+[[nodiscard]] Socket accept_on(const Socket& listener,
+                               std::optional<std::chrono::milliseconds> timeout);
+
+/// One connect attempt. Returns an invalid Socket on refusal/unreachability
+/// (the retryable outcomes); throws ScadaError on programmer errors
+/// (bad address family, out of fds).
+[[nodiscard]] Socket connect_once(const Endpoint& endpoint);
+
+/// Bounded capped exponential backoff for connect/transient-read retries.
+/// Attempt k (0-based) sleeps delay_for(k) before retrying:
+/// min(initial * multiplier^k, max_delay). The budget is `max_attempts`
+/// total attempts, not retries — max_attempts = 1 means "no retry".
+struct BackoffPolicy {
+  std::size_t max_attempts = 8;
+  std::chrono::milliseconds initial_delay{25};
+  double multiplier = 2.0;
+  std::chrono::milliseconds max_delay{1000};
+
+  [[nodiscard]] std::chrono::milliseconds delay_for(std::size_t attempt) const noexcept;
+};
+
+/// connect_once under `policy`: retries refused/unreachable attempts with
+/// capped exponential sleeps. Throws ScadaError after the attempt budget is
+/// exhausted; `attempts_out` (optional) reports how many attempts were made.
+[[nodiscard]] Socket connect_with_retry(const Endpoint& endpoint, const BackoffPolicy& policy,
+                                        std::size_t* attempts_out = nullptr);
+
+/// Writes all of `data`, riding out partial writes and EINTR. Uses
+/// MSG_NOSIGNAL so a peer that vanished yields an error return, not SIGPIPE.
+/// Returns false when the connection is gone (EPIPE/ECONNRESET/...).
+[[nodiscard]] bool write_all(const Socket& socket, std::string_view data);
+
+/// Blocks up to `timeout` for readability (forever when nullopt).
+/// Returns: 1 readable, 0 timeout. Throws ScadaError on poll failure.
+[[nodiscard]] int wait_readable(const Socket& socket,
+                                std::optional<std::chrono::milliseconds> timeout);
+
+/// Newline framing over a socket with a hard per-frame size limit.
+///
+/// read_line() returns the next '\n'-terminated frame (terminator stripped,
+/// a trailing '\r' too). A frame that exceeds `max_line_bytes` before its
+/// newline arrives is reported as Oversized exactly once — the reader then
+/// discards bytes until the newline so the stream stays framed and the
+/// connection can continue. No unbounded buffering, ever.
+class LineReader {
+ public:
+  enum class Status {
+    Line,       ///< `line` holds a complete frame
+    Timeout,    ///< no byte arrived within the read timeout
+    Oversized,  ///< frame exceeded max_line_bytes; stream resynchronizes
+    Eof,        ///< orderly shutdown with no buffered frame
+    Error,      ///< read failure (connection reset, ...)
+  };
+
+  LineReader(const Socket& socket, std::size_t max_line_bytes,
+             std::optional<std::chrono::milliseconds> read_timeout);
+
+  /// Next frame. A final unterminated frame before EOF is delivered as a
+  /// Line (mirrors std::getline), then Eof.
+  [[nodiscard]] Status read_line(std::string& line);
+
+  /// Adjusts the read timeout for subsequent read_line calls. Lets a caller
+  /// alternate between blocking intake (idle connection) and a non-blocking
+  /// sweep (responses pending elsewhere). nullopt blocks forever.
+  void set_read_timeout(std::optional<std::chrono::milliseconds> timeout) noexcept {
+    read_timeout_ = timeout;
+  }
+
+  /// Total bytes consumed from the socket so far.
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept { return bytes_read_; }
+
+ private:
+  const Socket& socket_;
+  std::size_t max_line_bytes_;
+  std::optional<std::chrono::milliseconds> read_timeout_;
+  std::string buffer_;
+  bool discarding_ = false;  ///< inside an oversized frame, seeking '\n'
+  bool eof_ = false;
+  std::uint64_t bytes_read_ = 0;
+};
+
+}  // namespace scada::service::net

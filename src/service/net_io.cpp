@@ -1,0 +1,312 @@
+#include "scada/service/net_io.hpp"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <thread>
+
+#include "scada/util/error.hpp"
+#include "scada/util/strings.hpp"
+
+namespace scada::service::net {
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ScadaError(what + ": " + std::strerror(errno));
+}
+
+/// poll() one fd for `events`, riding out EINTR. nullopt timeout = forever.
+/// Returns 0 on timeout, revents otherwise.
+short poll_fd(int fd, short events, std::optional<std::chrono::milliseconds> timeout) {
+  const auto deadline = timeout ? std::optional(std::chrono::steady_clock::now() + *timeout)
+                                : std::nullopt;
+  for (;;) {
+    int wait_ms = -1;
+    if (deadline) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      wait_ms = static_cast<int>(std::max<std::chrono::milliseconds::rep>(left.count(), 0));
+    }
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, wait_ms);
+    if (rc > 0) return pfd.revents;
+    if (rc == 0) return 0;
+    if (errno == EINTR) continue;  // signal: recompute the remaining budget
+    throw_errno("poll");
+  }
+}
+
+sockaddr_un make_unix_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof addr.sun_path) {
+    throw ConfigError("unix socket path too long (" + std::to_string(path.size()) +
+                      " bytes): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in make_inet_addr(const Endpoint& endpoint) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    throw ConfigError("not an IPv4 address: '" + endpoint.host + "'");
+  }
+  return addr;
+}
+
+/// The protocol is small request/response lines, so Nagle + delayed-ACK
+/// stalls (~40ms per burst of small writes) dwarf any coalescing benefit.
+/// A no-op on AF_UNIX fds, where the option does not exist.
+void set_nodelay(int fd) {
+  const int on = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &on, sizeof on);
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (is_unix()) return "unix:" + unix_path;
+  return host + ":" + std::to_string(port);
+}
+
+Endpoint parse_hostport(std::string_view text) {
+  Endpoint endpoint;
+  std::string_view port_part = text;
+  if (const auto colon = text.rfind(':'); colon != std::string_view::npos) {
+    if (colon == 0 || colon + 1 == text.size()) {
+      throw ParseError("bad endpoint '" + std::string(text) + "': want [host:]port");
+    }
+    endpoint.host = std::string(text.substr(0, colon));
+    port_part = text.substr(colon + 1);
+  }
+  const long port = util::parse_long(port_part);
+  if (port < 0 || port > 65535) {
+    throw ParseError("port out of range in '" + std::string(text) + "'");
+  }
+  endpoint.port = static_cast<std::uint16_t>(port);
+  return endpoint;
+}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    // POSIX leaves the fd state unspecified after close() fails with EINTR;
+    // on Linux the fd is gone either way, so one call is the safe idiom.
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+int Socket::release() noexcept {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+Socket listen_on(const Endpoint& endpoint, std::uint16_t* bound_port) {
+  Socket sock(::socket(endpoint.is_unix() ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+
+  if (endpoint.is_unix()) {
+    ::unlink(endpoint.unix_path.c_str());  // stale socket from a dead server
+    const sockaddr_un addr = make_unix_addr(endpoint.unix_path);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      throw_errno("bind " + endpoint.to_string());
+    }
+  } else {
+    const int on = 1;
+    ::setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &on, sizeof on);
+    const sockaddr_in addr = make_inet_addr(endpoint);
+    if (::bind(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+      throw_errno("bind " + endpoint.to_string());
+    }
+  }
+  if (::listen(sock.fd(), SOMAXCONN) != 0) throw_errno("listen " + endpoint.to_string());
+
+  if (bound_port != nullptr) {
+    *bound_port = endpoint.port;
+    if (!endpoint.is_unix()) {
+      sockaddr_in actual{};
+      socklen_t len = sizeof actual;
+      if (::getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual), &len) != 0) {
+        throw_errno("getsockname");
+      }
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return sock;
+}
+
+Socket accept_on(const Socket& listener, std::optional<std::chrono::milliseconds> timeout) {
+  for (;;) {
+    const short revents = poll_fd(listener.fd(), POLLIN, timeout);
+    if (revents == 0) return Socket();  // timeout
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return Socket(fd);
+    }
+    // The connection died between poll and accept, or a signal landed:
+    // neither is fatal to the listener.
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN || errno == EWOULDBLOCK) {
+      continue;
+    }
+    throw_errno("accept");
+  }
+}
+
+Socket connect_once(const Endpoint& endpoint) {
+  Socket sock(::socket(endpoint.is_unix() ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) throw_errno("socket");
+
+  int rc;
+  if (endpoint.is_unix()) {
+    const sockaddr_un addr = make_unix_addr(endpoint.unix_path);
+    do {
+      rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    const sockaddr_in addr = make_inet_addr(endpoint);
+    do {
+      rc = ::connect(sock.fd(), reinterpret_cast<const sockaddr*>(&addr), sizeof addr);
+    } while (rc != 0 && errno == EINTR);
+  }
+  if (rc == 0) {
+    if (!endpoint.is_unix()) set_nodelay(sock.fd());
+    return sock;
+  }
+  switch (errno) {  // the outcomes a retry can fix
+    case ECONNREFUSED:
+    case ENOENT:  // unix socket path not created yet
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case EAGAIN:
+      return Socket();
+    default:
+      throw_errno("connect " + endpoint.to_string());
+  }
+}
+
+std::chrono::milliseconds BackoffPolicy::delay_for(std::size_t attempt) const noexcept {
+  double ms = static_cast<double>(initial_delay.count());
+  const double cap = static_cast<double>(max_delay.count());
+  for (std::size_t i = 0; i < attempt && ms < cap; ++i) ms *= multiplier;
+  ms = std::min(std::max(ms, 0.0), cap);
+  return std::chrono::milliseconds(static_cast<std::chrono::milliseconds::rep>(ms));
+}
+
+Socket connect_with_retry(const Endpoint& endpoint, const BackoffPolicy& policy,
+                          std::size_t* attempts_out) {
+  const std::size_t budget = std::max<std::size_t>(policy.max_attempts, 1);
+  for (std::size_t attempt = 0; attempt < budget; ++attempt) {
+    Socket sock = connect_once(endpoint);
+    if (attempts_out != nullptr) *attempts_out = attempt + 1;
+    if (sock.valid()) return sock;
+    if (attempt + 1 < budget) std::this_thread::sleep_for(policy.delay_for(attempt));
+  }
+  throw ScadaError("connect " + endpoint.to_string() + ": gave up after " +
+                   std::to_string(budget) + " attempt(s)");
+}
+
+bool write_all(const Socket& socket, std::string_view data) {
+  std::size_t written = 0;
+  while (written < data.size()) {
+#ifdef MSG_NOSIGNAL
+    const auto n = ::send(socket.fd(), data.data() + written, data.size() - written,
+                          MSG_NOSIGNAL);
+#else
+    const auto n = ::send(socket.fd(), data.data() + written, data.size() - written, 0);
+#endif
+    if (n > 0) {
+      written += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Blocking sockets only park here under SO_SNDTIMEO; wait and retry.
+      (void)poll_fd(socket.fd(), POLLOUT, std::nullopt);
+      continue;
+    }
+    return false;  // EPIPE / ECONNRESET / ...: the peer is gone
+  }
+  return true;
+}
+
+int wait_readable(const Socket& socket, std::optional<std::chrono::milliseconds> timeout) {
+  return poll_fd(socket.fd(), POLLIN | POLLHUP, timeout) == 0 ? 0 : 1;
+}
+
+LineReader::LineReader(const Socket& socket, std::size_t max_line_bytes,
+                       std::optional<std::chrono::milliseconds> read_timeout)
+    : socket_(socket), max_line_bytes_(max_line_bytes), read_timeout_(read_timeout) {}
+
+LineReader::Status LineReader::read_line(std::string& line) {
+  line.clear();
+  for (;;) {
+    // Drain complete frames (or resynchronize past an oversized one) from
+    // what is already buffered before touching the socket again.
+    if (const auto nl = buffer_.find('\n'); nl != std::string::npos) {
+      std::string frame = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (discarding_) {
+        discarding_ = false;  // the oversized frame ends here; resume framing
+        continue;
+      }
+      // A frame can arrive whole in one recv; the limit still applies.
+      if (frame.size() > max_line_bytes_) return Status::Oversized;
+      if (!frame.empty() && frame.back() == '\r') frame.pop_back();
+      line = std::move(frame);
+      return Status::Line;
+    }
+    if (discarding_) {
+      buffer_.clear();  // mid-oversized-frame bytes: drop, keep seeking '\n'
+    } else if (buffer_.size() > max_line_bytes_) {
+      buffer_.clear();
+      discarding_ = true;
+      return Status::Oversized;
+    }
+    if (eof_) {
+      if (buffer_.empty() || discarding_) return Status::Eof;
+      line = std::move(buffer_);  // final unterminated frame, getline-style
+      buffer_.clear();
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      return Status::Line;
+    }
+
+    if (poll_fd(socket_.fd(), POLLIN, read_timeout_) == 0) return Status::Timeout;
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) return Status::Error;
+    if (n == 0) {
+      eof_ = true;
+      continue;
+    }
+    bytes_read_ += static_cast<std::uint64_t>(n);
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace scada::service::net

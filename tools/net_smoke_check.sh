@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# ctest helper: end-to-end smoke of the network transport. Starts
+# scada_serve listening on an ephemeral loopback port, drives it with
+# scada_batch --connect for two identical passes, and relies on --check to
+# gate the run: every pass complete, >= 90% of the second pass served from
+# the shared verdict cache, and a >= 5x end-to-end speedup — all measured
+# over a real TCP connection. --shutdown-server then exercises the graceful
+# drain path: the server must exit 0 on its own after the shutdown op.
+#
+# Usage: net_smoke_check.sh <scada_serve> <scada_batch> <work_dir>
+set -euo pipefail
+
+SERVE="$1"
+BATCH="$2"
+WORK="$3"
+
+mkdir -p "$WORK"
+rm -f "$WORK/port.txt"
+
+"$SERVE" --listen 127.0.0.1:0 --port-file "$WORK/port.txt" \
+  >"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+# The server writes its ephemeral port once the listener is bound.
+for _ in $(seq 1 200); do
+  [ -s "$WORK/port.txt" ] && break
+  sleep 0.05
+done
+if [ ! -s "$WORK/port.txt" ]; then
+  echo "net_smoke_check: server never wrote its port file" >&2
+  cat "$WORK/serve.log" >&2 || true
+  exit 1
+fi
+PORT="$(cat "$WORK/port.txt")"
+
+"$BATCH" --connect "127.0.0.1:$PORT" --requests 40 --passes 2 \
+  --check --shutdown-server | tee "$WORK/batch.json"
+
+# Graceful drain: after the shutdown op the server stops accepting, answers
+# everything in flight, and exits cleanly — no kill needed.
+wait "$SERVE_PID"
+trap - EXIT
+echo "net_smoke_check: ok (port $PORT)"

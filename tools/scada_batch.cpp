@@ -17,16 +17,32 @@
 //
 //   $ ./scada_batch --emit --requests 10 | ./scada_serve
 //
-// Exit codes: 0 ok; 2 when --check thresholds are violated; 1 usage error.
+// With --connect HOST:PORT (or --connect-unix PATH) the same batch is
+// replayed over a socket against a running `scada_serve --listen` process,
+// with bounded, capped-exponential-backoff retries on connect refusal and
+// transient read/write failures — so the acceptance gate can run over the
+// wire:
+//
+//   $ ./scada_serve --listen 127.0.0.1:0 --port-file port.txt &
+//   $ ./scada_batch --connect 127.0.0.1:$(cat port.txt) --passes 2 --check
+//
+// Exit codes: 0 ok; 2 when --check thresholds are violated; 1 usage error
+// or exhausted retry budget.
+#include <poll.h>
+
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "scada/io/json.hpp"
 #include "scada/service/batch_server.hpp"
+#include "scada/service/net_io.hpp"
+#include "scada/util/error.hpp"
 #include "scada/util/rng.hpp"
 #include "scada/util/strings.hpp"
 #include "scada/util/timer.hpp"
@@ -44,6 +60,12 @@ struct BatchConfig {
   double check_hit_rate = 0.9;
   double check_speedup = 5.0;
   std::uint64_t seed = 42;
+  /// Client mode: non-empty host or unix path = replay over a socket.
+  service::net::Endpoint connect;
+  bool connect_mode = false;
+  service::net::BackoffPolicy retry;
+  double read_timeout_ms = 30000;
+  bool shutdown_server = false;
 };
 
 /// One batch: a deterministic request mix over the case study (both
@@ -82,7 +104,21 @@ struct PassResult {
   std::size_t responses = 0;
   std::size_t cache_hits = 0;
   std::size_t errors = 0;
+  std::size_t reconnects = 0;
 };
+
+/// Folds one response line into the pass tally (shared by both transports).
+void tally_response(const std::string& line, PassResult& result) {
+  ++result.responses;
+  const io::JsonValue response = io::parse_json(line);
+  const io::JsonValue* ok = response.find("ok");
+  if (ok == nullptr || !ok->as_bool()) {
+    ++result.errors;
+    return;
+  }
+  const io::JsonValue* hit = response.find("cache_hit");
+  if (hit != nullptr && hit->is_bool() && hit->as_bool()) ++result.cache_hits;
+}
 
 PassResult run_pass(service::BatchServer& server, const std::vector<std::string>& lines) {
   std::ostringstream batch;
@@ -97,28 +133,104 @@ PassResult run_pass(service::BatchServer& server, const std::vector<std::string>
 
   std::istringstream responses(out.str());
   std::string line;
-  while (std::getline(responses, line)) {
-    ++result.responses;
-    const io::JsonValue response = io::parse_json(line);
-    const io::JsonValue* ok = response.find("ok");
-    if (ok == nullptr || !ok->as_bool()) {
-      ++result.errors;
-      continue;
-    }
-    const io::JsonValue* hit = response.find("cache_hit");
-    if (hit != nullptr && hit->is_bool() && hit->as_bool()) ++result.cache_hits;
-  }
+  while (std::getline(responses, line)) tally_response(line, result);
   return result;
 }
 
+/// Replays the batch over a socket. Requests stream out while responses
+/// stream back (a duplex pump — neither direction can deadlock on full
+/// kernel buffers), and responses arrive in request order, so after a
+/// transient failure the un-answered tail `lines[result.responses..]` is
+/// resent on a fresh connection. Retries (initial connect and reconnects
+/// combined) share one bounded budget; throws ScadaError when it runs out.
+PassResult run_pass_connected(const BatchConfig& config, const std::vector<std::string>& lines) {
+  PassResult result;
+  util::WallTimer timer;
+  std::size_t retry_budget = std::max<std::size_t>(config.retry.max_attempts, 1);
+
+  while (result.responses < lines.size()) {
+    service::net::BackoffPolicy policy = config.retry;
+    policy.max_attempts = retry_budget;
+    std::size_t attempts = 0;
+    // Throws once the shared budget is exhausted — retries are bounded.
+    service::net::Socket socket =
+        service::net::connect_with_retry(config.connect, policy, &attempts);
+    retry_budget -= std::min(retry_budget, attempts > 0 ? attempts - 1 : 0);
+    if (result.responses > 0) ++result.reconnects;
+
+    std::string outbox;
+    for (std::size_t i = result.responses; i < lines.size(); ++i) {
+      outbox += lines[i];
+      outbox += '\n';
+    }
+    std::size_t sent = 0;
+    service::net::LineReader reader(socket, 1 << 26,
+                                    std::chrono::milliseconds(
+                                        static_cast<long>(config.read_timeout_ms)));
+    bool transport_ok = true;
+    std::string line;
+    while (transport_ok && result.responses < lines.size()) {
+      if (sent < outbox.size()) {
+        // Duplex: wait for either direction, drain reads before writes so
+        // the server's response stream never backs up into our send path.
+        pollfd pfd{socket.fd(), static_cast<short>(POLLIN | POLLOUT), 0};
+        if (::poll(&pfd, 1, static_cast<int>(config.read_timeout_ms)) <= 0) break;  // stall
+        if ((pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+          const auto status = reader.read_line(line);
+          if (status == service::net::LineReader::Status::Line) {
+            tally_response(line, result);
+            continue;
+          }
+          if (status != service::net::LineReader::Status::Timeout) break;  // reconnect
+        }
+        if ((pfd.revents & POLLOUT) != 0) {
+          const std::size_t chunk = std::min<std::size_t>(outbox.size() - sent, 16384);
+          if (!service::net::write_all(socket, {outbox.data() + sent, chunk})) break;
+          sent += chunk;
+        }
+      } else {
+        const auto status = reader.read_line(line);
+        if (status != service::net::LineReader::Status::Line) break;  // timeout/EOF/reset
+        tally_response(line, result);
+      }
+    }
+    // Fall through: anything unanswered is retried on a new connection,
+    // until the budget says otherwise.
+    if (result.responses < lines.size() && retry_budget == 0) {
+      throw ScadaError("replay to " + config.connect.to_string() + " gave up with " +
+                       std::to_string(lines.size() - result.responses) +
+                       " request(s) unanswered (retry budget exhausted)");
+    }
+    if (result.responses < lines.size()) --retry_budget;
+  }
+  result.wall_ms = timer.millis();
+  return result;
+}
+
+/// Asks the remote server to drain and stop (used by the CI smoke gate).
+void send_shutdown(const BatchConfig& config) {
+  service::net::Socket socket = service::net::connect_with_retry(config.connect, config.retry);
+  (void)service::net::write_all(socket, "{\"id\":\"shutdown\",\"op\":\"shutdown\"}\n");
+  std::string line;  // wait for the ack so the drain has begun before we exit
+  service::net::LineReader reader(socket, 1 << 20, std::chrono::milliseconds(5000));
+  (void)reader.read_line(line);
+}
+
 int usage(const char* argv0) {
-  std::fprintf(stderr,
-               "usage: %s [--requests N] [--passes N] [--threads N] [--seed N]\n"
-               "          [--emit] [--check] [--min-hit-rate X] [--min-speedup X]\n"
-               "  --emit   print the batch as protocol lines (pipe into scada_serve)\n"
-               "  --check  exit 2 unless the final pass meets the hit-rate and\n"
-               "           speedup thresholds (defaults 0.9 and 5.0)\n",
-               argv0);
+  std::fprintf(
+      stderr,
+      "usage: %s [--requests N] [--passes N] [--threads N] [--seed N]\n"
+      "          [--emit] [--check] [--min-hit-rate X] [--min-speedup X]\n"
+      "          [--connect HOST:PORT | --connect-unix PATH] [--shutdown-server]\n"
+      "          [--retry-attempts N] [--retry-initial-ms N] [--retry-max-ms N]\n"
+      "          [--read-timeout-ms X]\n"
+      "  --emit     print the batch as protocol lines (pipe into scada_serve)\n"
+      "  --check    exit 2 unless the final pass meets the hit-rate and\n"
+      "             speedup thresholds (defaults 0.9 and 5.0)\n"
+      "  --connect  replay over TCP against a running scada_serve --listen,\n"
+      "             with bounded exponential-backoff connect/read retries\n"
+      "  --shutdown-server  send a shutdown op after the final pass\n",
+      argv0);
   return 1;
 }
 
@@ -144,6 +256,32 @@ int main(int argc, char** argv) {
       config.check_hit_rate = util::cli_double("--min-hit-rate", num_arg());
     } else if (std::strcmp(argv[i], "--min-speedup") == 0) {
       config.check_speedup = util::cli_double("--min-speedup", num_arg());
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      try {
+        config.connect = service::net::parse_hostport(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s: %s\n", argv[0], e.what());
+        return 1;
+      }
+      config.connect_mode = true;
+    } else if (std::strcmp(argv[i], "--connect-unix") == 0) {
+      if (i + 1 >= argc) return usage(argv[0]);
+      config.connect.unix_path = argv[++i];
+      config.connect_mode = true;
+    } else if (std::strcmp(argv[i], "--retry-attempts") == 0) {
+      config.retry.max_attempts =
+          static_cast<std::size_t>(util::cli_long_in("--retry-attempts", num_arg(), 1, 1000));
+    } else if (std::strcmp(argv[i], "--retry-initial-ms") == 0) {
+      config.retry.initial_delay = std::chrono::milliseconds(
+          util::cli_long_in("--retry-initial-ms", num_arg(), 0, 60000));
+    } else if (std::strcmp(argv[i], "--retry-max-ms") == 0) {
+      config.retry.max_delay =
+          std::chrono::milliseconds(util::cli_long_in("--retry-max-ms", num_arg(), 0, 600000));
+    } else if (std::strcmp(argv[i], "--read-timeout-ms") == 0) {
+      config.read_timeout_ms = util::cli_double("--read-timeout-ms", num_arg());
+    } else if (std::strcmp(argv[i], "--shutdown-server") == 0) {
+      config.shutdown_server = true;
     } else if (std::strcmp(argv[i], "--emit") == 0) {
       config.emit = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {
@@ -162,15 +300,36 @@ int main(int argc, char** argv) {
 
   service::ServerOptions options;
   options.scheduler.threads = config.threads;
-  service::BatchServer server(options);
+  // In-process server only constructed (and its pool spun up) for the
+  // default mode; --connect talks to a remote scada_serve instead.
+  std::unique_ptr<service::BatchServer> server;
+  if (!config.connect_mode) server = std::make_unique<service::BatchServer>(options);
 
   std::vector<PassResult> passes;
   for (int p = 1; p <= config.passes; ++p) {
-    const PassResult result = run_pass(server, lines);
-    std::fprintf(stderr, "pass %d: %zu responses in %.1f ms (hits %zu/%zu, errors %zu)\n", p,
+    PassResult result;
+    try {
+      result = config.connect_mode ? run_pass_connected(config, lines)
+                                   : run_pass(*server, lines);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pass %d FAILED: %s\n", p, e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "pass %d: %zu responses in %.1f ms (hits %zu/%zu, errors %zu%s)\n", p,
                  result.responses, result.wall_ms, result.cache_hits, result.responses,
-                 result.errors);
+                 result.errors,
+                 result.reconnects > 0
+                     ? (", reconnects " + std::to_string(result.reconnects)).c_str()
+                     : "");
     passes.push_back(result);
+  }
+  if (config.connect_mode && config.shutdown_server) {
+    try {
+      send_shutdown(config);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "shutdown request failed: %s\n", e.what());
+      return 1;
+    }
   }
 
   const PassResult& first = passes.front();
@@ -181,15 +340,22 @@ int main(int argc, char** argv) {
           : static_cast<double>(last.cache_hits) / static_cast<double>(last.responses);
   const double speedup = last.wall_ms > 0.0 ? first.wall_ms / last.wall_ms : 0.0;
   std::printf(
-      "{\"requests\":%zu,\"passes\":%d,\"threads\":%zu,\"pass1_ms\":%.3f,\"pass_final_ms\":%.3f,"
-      "\"pass_final_hits\":%zu,\"pass_final_hit_rate\":%.4f,\"replay_speedup\":%.2f,"
-      "\"errors\":%zu}\n",
-      config.requests, config.passes, server.scheduler().threads(), first.wall_ms, last.wall_ms,
-      last.cache_hits, hit_rate, speedup, first.errors + last.errors);
+      "{\"requests\":%zu,\"passes\":%d,\"transport\":\"%s\",\"pass1_ms\":%.3f,"
+      "\"pass_final_ms\":%.3f,\"pass_final_hits\":%zu,\"pass_final_hit_rate\":%.4f,"
+      "\"replay_speedup\":%.2f,\"errors\":%zu}\n",
+      config.requests, config.passes,
+      config.connect_mode ? (config.connect.is_unix() ? "unix" : "tcp") : "in-process",
+      first.wall_ms, last.wall_ms, last.cache_hits, hit_rate, speedup,
+      first.errors + last.errors);
 
   if (config.check && config.passes >= 2) {
     if (first.errors + last.errors > 0) {
       std::fprintf(stderr, "check FAILED: %zu error response(s)\n", first.errors + last.errors);
+      return 2;
+    }
+    if (first.responses < config.requests || last.responses < config.requests) {
+      std::fprintf(stderr, "check FAILED: incomplete pass (%zu/%zu, %zu/%zu responses)\n",
+                   first.responses, config.requests, last.responses, config.requests);
       return 2;
     }
     if (hit_rate < config.check_hit_rate) {
