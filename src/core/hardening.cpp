@@ -1,5 +1,6 @@
 #include "scada/core/hardening.hpp"
 
+#include <algorithm>
 #include <set>
 
 #include "scada/util/combinatorics.hpp"
@@ -31,18 +32,29 @@ std::vector<HardeningAction> HardeningAdvisor::candidates() const {
   return out;
 }
 
-ScadaScenario HardeningAdvisor::apply(const std::vector<HardeningAction>& upgrades) const {
-  scadanet::SecurityPolicy policy = scenario_.policy();
+ScadaScenario apply_hardening(const ScadaScenario& scenario,
+                              const std::vector<HardeningAction>& upgrades) {
+  scadanet::SecurityPolicy policy = scenario.policy();
   for (const auto& action : upgrades) {
-    // Keep any existing suites and add a strong authenticated+integrity set.
+    // Keep any existing suites and add a strong authenticated+integrity set —
+    // skipping suites the pair already carries, so applying an action twice
+    // (or re-applying a grown set, as the CEGIS loop does) is a no-op.
     std::vector<scadanet::CryptoSuite> suites;
     if (const auto* existing = policy.pair_suites(action.a, action.b)) suites = *existing;
-    suites.push_back({"rsa", 2048});
-    suites.push_back({"sha2", 256});
+    for (const scadanet::CryptoSuite& upgrade :
+         {scadanet::CryptoSuite{"rsa", 2048}, scadanet::CryptoSuite{"sha2", 256}}) {
+      if (std::find(suites.begin(), suites.end(), upgrade) == suites.end()) {
+        suites.push_back(upgrade);
+      }
+    }
     policy.set_pair_suites(action.a, action.b, std::move(suites));
   }
-  return ScadaScenario(scenario_.topology(), std::move(policy), scenario_.crypto_rules(),
-                       scenario_.model(), scenario_.measurements_of_ied());
+  return ScadaScenario(scenario.topology(), std::move(policy), scenario.crypto_rules(),
+                       scenario.model(), scenario.measurements_of_ied());
+}
+
+ScadaScenario HardeningAdvisor::apply(const std::vector<HardeningAction>& upgrades) const {
+  return apply_hardening(scenario_, upgrades);
 }
 
 HardeningResult HardeningAdvisor::advise(Property property, const ResiliencySpec& spec,

@@ -33,6 +33,14 @@ struct HardeningResult {
   int probes = 0;
 };
 
+/// Returns `scenario` with every listed hop upgraded to a strong
+/// authenticated+integrity suite set. Idempotent: a suite already present on
+/// the pair is not appended again, so repeated application (the CEGIS loop in
+/// core::Optimizer re-applies candidate sets every iteration) cannot
+/// accumulate duplicates.
+[[nodiscard]] ScadaScenario apply_hardening(const ScadaScenario& scenario,
+                                            const std::vector<HardeningAction>& upgrades);
+
 class HardeningAdvisor {
  public:
   explicit HardeningAdvisor(const ScadaScenario& scenario, AnalyzerOptions options = {});

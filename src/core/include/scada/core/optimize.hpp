@@ -1,0 +1,132 @@
+// core::Optimizer: optimization queries over a SCADA scenario, built on the
+// MaxSAT engine (smt::MaxSatSolver) and unsat cores.
+//
+// security_index()     — minimum number of device/link failures that violates
+//                        a property (the paper's security index): soft-clause
+//                        every availability indicator and take the MaxSAT
+//                        optimum. The witness is a minimum-cardinality threat
+//                        vector, cross-checked against the direct oracle.
+// min_cost_hardening() — cheapest set of crypto-profile upgrades restoring a
+//                        resiliency spec, by CEGIS: propose the cheapest
+//                        candidate subset with MaxSAT, verify it with the
+//                        full analyzer, block refuted subsets, repeat.
+// min_cost_placement() — same loop over measurement additions
+//                        (PlacementAdvisor candidates).
+// max_resiliency()     — the analyzer metric recomputed by a gallop-then-
+//                        bisect search over k on ONE incremental session
+//                        (guarded at-most-k budgets probed through
+//                        assumptions) instead of a per-k re-encoded instance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "scada/core/analyzer.hpp"
+#include "scada/core/hardening.hpp"
+#include "scada/core/placement.hpp"
+#include "scada/smt/maxsat.hpp"
+
+namespace scada::core {
+
+struct OptimizerOptions {
+  /// Solver/encoder/interrupt wiring shared with the plain analyzer. The
+  /// `certify` flag doubles as the MaxSAT bound-certification opt-in and is
+  /// folded into every CEGIS verification call.
+  AnalyzerOptions analyzer;
+  /// MaxSAT strategy for every optimization query.
+  smt::MaxSatStrategy strategy = smt::MaxSatStrategy::Linear;
+};
+
+struct SecurityIndexResult {
+  /// Some failure set violates the property. False with completed means the
+  /// property holds under EVERY contingency (the index is undefined/infinite).
+  bool attackable = false;
+  /// Minimum number of simultaneous device/link failures violating the
+  /// property (0 when the nominal configuration already violates it).
+  /// When !completed this is the best upper bound found (only if attackable).
+  std::uint64_t index = 0;
+  /// A minimum-cardinality threat vector witnessing the index; validated
+  /// against the direct oracle (divergence throws ScadaError).
+  ThreatVector witness;
+  /// False when an interrupt cut the descent short.
+  bool completed = true;
+  /// The optimality bound carries a checker-accepted DRAT certificate
+  /// (AnalyzerOptions::certify on the CDCL backend).
+  bool certified = false;
+  /// Raw engine counters (iterations, cores_extracted, bound_tightenings).
+  smt::MaxSatResult maxsat;
+};
+
+/// Result of a minimum-cost synthesis loop (hardening or placement).
+struct MinCostResult {
+  /// A configuration satisfying the spec exists within the candidate pool.
+  bool achievable = false;
+  /// False when an interrupt stopped the loop before a verdict.
+  bool completed = true;
+  /// Summed action cost of the winning set (0 when already resilient).
+  std::uint64_t cost = 0;
+  /// Winning actions — hardening fills `hardening`, placement `placements`.
+  std::vector<HardeningAction> hardening;
+  std::vector<PlacementAction> placements;
+  /// Propose-verify rounds spent.
+  std::uint64_t cegis_iterations = 0;
+  /// Closing analyzer verdict of the winning configuration (Unsat; carries
+  /// the DRAT certification flag when AnalyzerOptions::certify is on).
+  VerificationResult verification;
+  /// Accumulated MaxSAT counters across all proposal rounds.
+  smt::MaxSatResult maxsat;
+};
+
+class Optimizer {
+ public:
+  /// Unit cost for every action.
+  using HardeningCostFn = std::function<std::uint64_t(const HardeningAction&)>;
+  using PlacementCostFn = std::function<std::uint64_t(const powersys::Measurement&)>;
+
+  /// The scenario must outlive the optimizer.
+  explicit Optimizer(const ScadaScenario& scenario, OptimizerOptions options = {});
+
+  /// Minimum-cardinality threat vector for the property (spec_r only matters
+  /// for BadDataDetectability). Hard constraint: ¬property; soft constraints:
+  /// each device (and, with links_can_fail, link) stays up.
+  [[nodiscard]] SecurityIndexResult security_index(Property property, int spec_r = 1);
+
+  /// Cheapest hop-upgrade set (over HardeningAdvisor::candidates()) whose
+  /// applied scenario verifies resilient. `cost` defaults to 1 per action.
+  /// Throws ConfigError for plain Observability (no crypto levers).
+  [[nodiscard]] MinCostResult min_cost_hardening(Property property, const ResiliencySpec& spec,
+                                                 const HardeningCostFn& cost = {});
+
+  /// Cheapest measurement-addition set (over PlacementAdvisor::candidates(),
+  /// each installed on a fresh IED attached to the least-loaded RTU) whose
+  /// applied scenario verifies resilient. `cost` defaults to 1 per addition.
+  [[nodiscard]] MinCostResult min_cost_placement(const powersys::BusSystem& grid,
+                                                 Property property, const ResiliencySpec& spec,
+                                                 const PlacementCostFn& cost = {});
+
+  /// Same contract as ScadaAnalyzer::max_resiliency (identical max_k and
+  /// partial-result semantics) but gallop-then-bisect searching k over one
+  /// incremental session with guarded cardinality bounds instead of
+  /// linearly re-encoding the instance per k.
+  [[nodiscard]] MaxResiliencyResult max_resiliency(Property property,
+                                                   FailureClass failure_class, int spec_r = 1);
+
+  [[nodiscard]] const ScadaScenario& scenario() const noexcept { return scenario_; }
+
+ private:
+  [[nodiscard]] smt::MaxSatOptions maxsat_options() const;
+  /// Shared CEGIS driver: minimize selection cost, verify the applied
+  /// scenario, block refuted subsets (sound because both hardening and
+  /// placement are monotone — supersets of a working set keep working).
+  /// `winning` receives the selected pool indices on success.
+  MinCostResult min_cost_synthesis(
+      std::size_t pool_size, const std::function<std::uint64_t(std::size_t)>& action_cost,
+      const std::function<ScadaScenario(const std::vector<std::size_t>&)>& apply,
+      Property property, const ResiliencySpec& spec, std::vector<std::size_t>& winning);
+
+  const ScadaScenario& scenario_;
+  OptimizerOptions options_;
+};
+
+}  // namespace scada::core

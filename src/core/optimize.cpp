@@ -1,0 +1,325 @@
+#include "scada/core/optimize.hpp"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "scada/core/oracle.hpp"
+#include "scada/util/error.hpp"
+
+namespace scada::core {
+
+using smt::SolveResult;
+
+Optimizer::Optimizer(const ScadaScenario& scenario, OptimizerOptions options)
+    : scenario_(scenario), options_(std::move(options)) {}
+
+smt::MaxSatOptions Optimizer::maxsat_options() const {
+  smt::MaxSatOptions mo;
+  mo.strategy = options_.strategy;
+  mo.session = options_.analyzer.solver;
+  mo.interrupt = options_.analyzer.interrupt;
+  // The analyzer-level certify opt-in doubles as bound certification: the
+  // engine re-proves the closing "no cheaper model" bound with a DRAT proof.
+  mo.certify_bound = options_.analyzer.certify;
+  return mo;
+}
+
+SecurityIndexResult Optimizer::security_index(Property property, int spec_r) {
+  smt::FormulaBuilder builder;
+  ThreatEncoder encoder(scenario_, options_.analyzer.encoder, builder);
+  smt::Formula prop = builder.mk_false();
+  switch (property) {
+    case Property::Observability: prop = encoder.observability(); break;
+    case Property::SecuredObservability: prop = encoder.secured_observability(); break;
+    case Property::BadDataDetectability: prop = encoder.bad_data_detectability(spec_r); break;
+  }
+
+  // Hard: the property is violated. Soft (unit weight): each device/link
+  // stays up. The MaxSAT optimum is then the minimum number of simultaneous
+  // failures that breaks the property — the security index.
+  smt::MaxSatSolver maxsat(builder, maxsat_options());
+  maxsat.add_hard(builder.mk_not(prop));
+  for (const int id : scenario_.ied_ids()) maxsat.add_soft(encoder.node_var(id));
+  for (const int id : scenario_.rtu_ids()) maxsat.add_soft(encoder.node_var(id));
+  if (options_.analyzer.encoder.links_can_fail) {
+    for (const auto& link : scenario_.topology().links()) {
+      if (link.up) maxsat.add_soft(encoder.link_var(link.id));
+    }
+  }
+
+  SecurityIndexResult out;
+  out.maxsat = maxsat.solve();
+  out.completed = out.maxsat.status != SolveResult::Unknown;
+  out.certified = out.maxsat.certified;
+  if (out.maxsat.status == SolveResult::Unsat) return out;  // not attackable
+  if (!out.maxsat.has_model) return out;  // interrupted before any model
+
+  out.attackable = true;
+  out.index = out.maxsat.cost;
+  for (const int id : scenario_.ied_ids()) {
+    if (!maxsat.value(encoder.node_var(id))) out.witness.failed_ieds.push_back(id);
+  }
+  for (const int id : scenario_.rtu_ids()) {
+    if (!maxsat.value(encoder.node_var(id))) out.witness.failed_rtus.push_back(id);
+  }
+  if (options_.analyzer.encoder.links_can_fail) {
+    for (const auto& link : scenario_.topology().links()) {
+      if (link.up && !maxsat.value(encoder.link_var(link.id))) {
+        out.witness.failed_links.push_back(link.id);
+      }
+    }
+  }
+  if (out.witness.size() != out.index) {
+    throw ScadaError("internal: security-index witness size " +
+                     std::to_string(out.witness.size()) + " != optimum " +
+                     std::to_string(out.index));
+  }
+  // Same divergence defense as minimize_threat(): the optimum's witness must
+  // actually violate the property under the direct oracle.
+  const ScenarioOracle oracle(scenario_, options_.analyzer.encoder);
+  if (oracle.holds(property, out.witness.to_contingency(), spec_r)) {
+    throw ScadaError("internal: security-index witness rejected by the direct oracle");
+  }
+  return out;
+}
+
+MinCostResult Optimizer::min_cost_synthesis(
+    std::size_t pool_size, const std::function<std::uint64_t(std::size_t)>& action_cost,
+    const std::function<ScadaScenario(const std::vector<std::size_t>&)>& apply,
+    Property property, const ResiliencySpec& spec, std::vector<std::size_t>& winning) {
+  MinCostResult out;
+  smt::FormulaBuilder builder;
+  smt::MaxSatSolver maxsat(builder, maxsat_options());
+
+  std::vector<smt::Formula> select;
+  select.reserve(pool_size);
+  for (std::size_t i = 0; i < pool_size; ++i) {
+    select.push_back(builder.mk_var("cegis_sel_" + std::to_string(i)));
+    // Selecting action i costs its weight; zero-cost actions stay free.
+    const std::uint64_t w = action_cost(i);
+    if (w > 0) maxsat.add_soft(builder.mk_not(select.back()), w);
+  }
+
+  std::uint64_t iterations = 0, cores = 0, tightenings = 0;
+  for (;;) {
+    smt::MaxSatResult round = maxsat.solve();
+    iterations += round.iterations;
+    cores += round.cores_extracted;
+    tightenings += round.bound_tightenings;
+    out.maxsat = round;
+    out.maxsat.iterations = iterations;
+    out.maxsat.cores_extracted = cores;
+    out.maxsat.bound_tightenings = tightenings;
+    if (round.status == SolveResult::Unknown) {
+      out.completed = false;
+      return out;
+    }
+    if (round.status == SolveResult::Unsat) {
+      // Every subset (including the full pool) has been refuted.
+      return out;
+    }
+
+    std::vector<std::size_t> chosen;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      if (maxsat.value(select[i])) chosen.push_back(i);
+    }
+    ++out.cegis_iterations;
+    const ScadaScenario candidate = apply(chosen);
+    ScadaAnalyzer analyzer(candidate, options_.analyzer);
+    VerificationResult v = analyzer.verify(property, spec);
+    if (v.result == SolveResult::Unknown) {
+      out.completed = false;
+      out.verification = std::move(v);
+      return out;
+    }
+    if (v.result == SolveResult::Unsat) {
+      out.achievable = true;
+      out.cost = round.cost;
+      out.verification = std::move(v);
+      winning = std::move(chosen);
+      return out;
+    }
+    // Counterexample: the candidate still admits the threat v.threat. Block
+    // the chosen set and, by monotonicity (more hardening/placement never
+    // hurts), every subset of it: the next proposal must add something new.
+    // When chosen == the full pool this is mk_or({}) == false, so the next
+    // round reports Unsat and the loop terminates.
+    std::vector<smt::Formula> block;
+    for (std::size_t i = 0; i < pool_size; ++i) {
+      if (!std::binary_search(chosen.begin(), chosen.end(), i)) block.push_back(select[i]);
+    }
+    maxsat.add_hard(builder.mk_or(block));
+  }
+}
+
+MinCostResult Optimizer::min_cost_hardening(Property property, const ResiliencySpec& spec,
+                                            const HardeningCostFn& cost) {
+  if (property == Property::Observability) {
+    throw ConfigError("Optimizer::min_cost_hardening: plain observability has no crypto levers");
+  }
+  HardeningAdvisor advisor(scenario_, options_.analyzer);
+  const std::vector<HardeningAction> pool = advisor.candidates();
+  std::vector<std::size_t> winning;
+  MinCostResult out = min_cost_synthesis(
+      pool.size(),
+      [&](std::size_t i) { return cost ? cost(pool[i]) : std::uint64_t{1}; },
+      [&](const std::vector<std::size_t>& chosen) {
+        std::vector<HardeningAction> actions;
+        actions.reserve(chosen.size());
+        for (const std::size_t i : chosen) actions.push_back(pool[i]);
+        return apply_hardening(scenario_, actions);
+      },
+      property, spec, winning);
+  for (const std::size_t i : winning) out.hardening.push_back(pool[i]);
+  return out;
+}
+
+MinCostResult Optimizer::min_cost_placement(const powersys::BusSystem& grid, Property property,
+                                            const ResiliencySpec& spec,
+                                            const PlacementCostFn& cost) {
+  PlacementAdvisor advisor(grid, scenario_, options_.analyzer);
+  const std::vector<powersys::Measurement> pool = advisor.candidates();
+
+  // Every candidate gets a fresh IED id up front, attached round-robin over
+  // the existing RTUs, so a selection subset maps to a fixed action list.
+  int next_ied = 0;
+  for (const auto& d : scenario_.topology().devices()) next_ied = std::max(next_ied, d.id);
+  const std::vector<int>& rtus = scenario_.rtu_ids();
+  const auto action_for = [&](std::size_t i) {
+    return PlacementAction{pool[i], next_ied + 1 + static_cast<int>(i),
+                           rtus[i % rtus.size()]};
+  };
+
+  std::vector<std::size_t> winning;
+  MinCostResult out = min_cost_synthesis(
+      pool.size(),
+      [&](std::size_t i) { return cost ? cost(pool[i]) : std::uint64_t{1}; },
+      [&](const std::vector<std::size_t>& chosen) {
+        std::vector<PlacementAction> actions;
+        actions.reserve(chosen.size());
+        for (const std::size_t i : chosen) actions.push_back(action_for(i));
+        return advisor.apply(actions);
+      },
+      property, spec, winning);
+  for (const std::size_t i : winning) out.placements.push_back(action_for(i));
+  return out;
+}
+
+MaxResiliencyResult Optimizer::max_resiliency(Property property, FailureClass failure_class,
+                                              int spec_r) {
+  const int limit = [&] {
+    switch (failure_class) {
+      case FailureClass::IedOnly: return static_cast<int>(scenario_.ied_ids().size());
+      case FailureClass::RtuOnly: return static_cast<int>(scenario_.rtu_ids().size());
+      case FailureClass::Combined:
+        return static_cast<int>(scenario_.ied_ids().size() + scenario_.rtu_ids().size());
+    }
+    return 0;
+  }();
+
+  smt::FormulaBuilder builder;
+  ThreatEncoder encoder(scenario_, options_.analyzer.encoder, builder);
+  smt::Session session(builder, options_.analyzer.solver);
+  session.set_interrupt(options_.analyzer.interrupt);
+
+  smt::Formula prop = builder.mk_false();
+  switch (property) {
+    case Property::Observability: prop = encoder.observability(); break;
+    case Property::SecuredObservability: prop = encoder.secured_observability(); break;
+    case Property::BadDataDetectability: prop = encoder.bad_data_detectability(spec_r); break;
+  }
+  session.assert_formula(builder.mk_not(prop));
+
+  // One incremental session replaces the per-k re-encoding of the linear
+  // sweep: each probed k asserts "guard_k -> at-most-k failures" once, and a
+  // probe assumes the guard. Unprobed guards stay free (the solver drops
+  // them), the property encoding and learned clauses are shared across every
+  // probe, and total budget-encoding work is O(n * max_k) — the same as the
+  // linear sweep's final probe alone. Classes the budget pins (the other
+  // device type under per-type specs; links outside Combined) are asserted
+  // up, exactly as ThreatEncoder::failure_budget does.
+  std::vector<smt::Formula> leaves;
+  const auto fail_devices = [&](const std::vector<int>& ids) {
+    for (const int id : ids) leaves.push_back(builder.mk_not(encoder.node_var(id)));
+  };
+  const auto pin_devices = [&](const std::vector<int>& ids) {
+    for (const int id : ids) session.assert_formula(encoder.node_var(id));
+  };
+  switch (failure_class) {
+    case FailureClass::IedOnly:
+      fail_devices(scenario_.ied_ids());
+      pin_devices(scenario_.rtu_ids());
+      break;
+    case FailureClass::RtuOnly:
+      fail_devices(scenario_.rtu_ids());
+      pin_devices(scenario_.ied_ids());
+      break;
+    case FailureClass::Combined:
+      fail_devices(scenario_.ied_ids());
+      fail_devices(scenario_.rtu_ids());
+      break;
+  }
+  if (options_.analyzer.encoder.links_can_fail) {
+    for (const auto& link : scenario_.topology().links()) {
+      if (!link.up) continue;
+      if (failure_class == FailureClass::Combined) {
+        leaves.push_back(builder.mk_not(encoder.link_var(link.id)));
+      } else {
+        session.assert_formula(encoder.link_var(link.id));
+      }
+    }
+  }
+
+  MaxResiliencyResult out;
+  std::unordered_map<int, smt::Formula> guards;
+  const auto probe = [&](int k) {
+    ++out.probes;
+    if (static_cast<std::size_t>(k) >= leaves.size()) return session.solve();
+    auto it = guards.find(k);
+    if (it == guards.end()) {
+      const smt::Formula guard = builder.mk_var("mr_guard");
+      session.assert_formula(builder.mk_implies(
+          guard, builder.mk_at_most(leaves, static_cast<std::uint32_t>(k))));
+      it = guards.emplace(k, guard).first;
+    }
+    return session.solve({it->second});
+  };
+
+  // resilient(k) is monotone decreasing in k (a count <= k model is a
+  // count <= k+1 model), so the search and the linear sweep agree on max_k.
+  // Real systems sit at small max_k, where a plain bisection of [0, limit]
+  // opens with loosely-bounded midpoints — the most expensive budgets to
+  // encode and solve. Gallop from the low end instead (0, 1, 2, 4, ...) so
+  // the boundary is bracketed by tightly-bounded cheap probes, then bisect
+  // the remaining interval; the worst case stays O(log limit) probes.
+  int lo = 0;
+  int hi = limit;
+  int best = -1;
+  int next = 0;
+  bool gallop = true;
+  while (lo <= hi) {
+    const int mid = gallop ? std::min(next, hi) : lo + (hi - lo) / 2;
+    switch (probe(mid)) {
+      case SolveResult::Unknown:
+        // Interrupt or solver budget: report the largest proven-resilient k
+        // as a partial bound, mirroring the linear sweep's semantics.
+        out.max_k = best;
+        out.completed = false;
+        return out;
+      case SolveResult::Unsat:
+        best = mid;
+        lo = mid + 1;
+        next = mid == 0 ? 1 : 2 * mid;
+        break;
+      case SolveResult::Sat:
+        hi = mid - 1;
+        gallop = false;
+        break;
+    }
+  }
+  out.max_k = best;
+  return out;
+}
+
+}  // namespace scada::core

@@ -19,6 +19,7 @@
 #include "scada/core/analyzer.hpp"
 #include "scada/core/criticality.hpp"
 #include "scada/core/lint.hpp"
+#include "scada/core/optimize.hpp"
 
 namespace scada::io {
 
@@ -105,5 +106,15 @@ class JsonValue {
 
 /// [ {"severity": "...", "check": "...", "devices": [...], "message": "..."} ]
 [[nodiscard]] std::string lint_to_json(const std::vector<core::LintFinding>& findings);
+
+/// {"attackable": bool, "index": n, "witness": {...}|null, "completed": bool,
+///  "certified": bool, "cores_extracted": n, "bound_tightenings": n,
+///  "iterations": n}
+[[nodiscard]] std::string security_index_to_json(const core::SecurityIndexResult& result);
+
+/// {"achievable": bool, "completed": bool, "cost": n, "actions": [...],
+///  "cegis_iterations": n, "certified": bool}. Actions are hardening hops
+///  or placement additions, whichever the synthesis filled.
+[[nodiscard]] std::string min_cost_to_json(const core::MinCostResult& result);
 
 }  // namespace scada::io

@@ -99,4 +99,44 @@ std::string lint_to_json(const std::vector<core::LintFinding>& findings) {
   return out + "]";
 }
 
+std::string security_index_to_json(const core::SecurityIndexResult& result) {
+  std::string out = "{\"attackable\":";
+  out += result.attackable ? "true" : "false";
+  out += ",\"index\":" + std::to_string(result.index);
+  out += ",\"witness\":";
+  out += result.attackable ? threat_to_json(result.witness) : std::string("null");
+  out += ",\"completed\":";
+  out += result.completed ? "true" : "false";
+  out += ",\"certified\":";
+  out += result.certified ? "true" : "false";
+  out += ",\"cores_extracted\":" + std::to_string(result.maxsat.cores_extracted);
+  out += ",\"bound_tightenings\":" + std::to_string(result.maxsat.bound_tightenings);
+  out += ",\"iterations\":" + std::to_string(result.maxsat.iterations);
+  return out + "}";
+}
+
+std::string min_cost_to_json(const core::MinCostResult& result) {
+  std::string out = "{\"achievable\":";
+  out += result.achievable ? "true" : "false";
+  out += ",\"completed\":";
+  out += result.completed ? "true" : "false";
+  out += ",\"cost\":" + std::to_string(result.cost);
+  out += ",\"actions\":[";
+  bool first = true;
+  for (const core::HardeningAction& a : result.hardening) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"secure\":[" + std::to_string(a.a) + "," + std::to_string(a.b) + "]}";
+  }
+  for (const core::PlacementAction& a : result.placements) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"ied\":" + std::to_string(a.ied_id) + ",\"rtu\":" + std::to_string(a.rtu_id) + "}";
+  }
+  out += "],\"cegis_iterations\":" + std::to_string(result.cegis_iterations);
+  out += ",\"certified\":";
+  out += result.verification.certified ? "true" : "false";
+  return out + "}";
+}
+
 }  // namespace scada::io

@@ -11,6 +11,8 @@ const char* to_string(JobKind kind) noexcept {
   switch (kind) {
     case JobKind::Verify: return "verify";
     case JobKind::EnumerateThreats: return "enumerate";
+    case JobKind::SecurityIndex: return "security-index";
+    case JobKind::Harden: return "harden";
   }
   return "?";
 }
@@ -39,14 +41,14 @@ std::string scenario_fingerprint_blob(const core::ScadaScenario& scenario) {
 
 JobKey make_job_key(const core::ScadaScenario& scenario, JobKind kind, core::Property property,
                     const core::ResiliencySpec& spec, const core::AnalyzerOptions& options,
-                    std::size_t max_vectors, bool minimal_only) {
+                    std::size_t max_vectors, bool minimal_only, smt::MaxSatStrategy strategy) {
   return make_job_key(scenario_fingerprint_blob(scenario), kind, property, spec, options,
-                      max_vectors, minimal_only);
+                      max_vectors, minimal_only, strategy);
 }
 
 JobKey make_job_key(std::string_view scenario_blob, JobKind kind, core::Property property,
                     const core::ResiliencySpec& spec, const core::AnalyzerOptions& options,
-                    std::size_t max_vectors, bool minimal_only) {
+                    std::size_t max_vectors, bool minimal_only, smt::MaxSatStrategy strategy) {
   std::string key = "scada-job-v1\n";
   key += "kind=";
   key += to_string(kind);
@@ -56,6 +58,10 @@ JobKey make_job_key(std::string_view scenario_blob, JobKind kind, core::Property
   if (kind == JobKind::EnumerateThreats) {
     key += "\nmax_vectors=" + std::to_string(max_vectors);
     key += minimal_only ? "\nminimal_only=1" : "\nminimal_only=0";
+  }
+  if (kind == JobKind::SecurityIndex || kind == JobKind::Harden) {
+    key += strategy == smt::MaxSatStrategy::CoreGuided ? "\nstrategy=core-guided"
+                                                       : "\nstrategy=linear";
   }
   // Every option that can alter the reported answer participates in the
   // key. Backend matters: verdicts agree, but threat vectors (models) and

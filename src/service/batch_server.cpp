@@ -117,12 +117,23 @@ BatchServer::Submitted BatchServer::submit_job(const JsonValue& request) {
 
   const JsonValue* op = request.find("op");
   const std::string op_name = op != nullptr ? op->as_string() : "verify";
-  out.kind = op_name == "enumerate" ? JobKind::EnumerateThreats : JobKind::Verify;
+  if (op_name == "enumerate") {
+    out.kind = JobKind::EnumerateThreats;
+  } else if (op_name == "security-index" || op_name == "security_index") {
+    out.kind = JobKind::SecurityIndex;
+  } else if (op_name == "harden") {
+    out.kind = JobKind::Harden;
+  } else {
+    out.kind = JobKind::Verify;
+  }
 
   const JsonValue* scenario_json = request.find("scenario");
   if (scenario_json == nullptr) throw ParseError("request needs a 'scenario'");
+  // security-index only uses spec.r, so its 'spec' may be omitted.
   const JsonValue* spec_json = request.find("spec");
-  if (spec_json == nullptr) throw ParseError("request needs a 'spec'");
+  if (spec_json == nullptr && out.kind != JobKind::SecurityIndex) {
+    throw ParseError("request needs a 'spec'");
+  }
 
   JobRequest job;
   job.kind = out.kind;
@@ -131,8 +142,22 @@ BatchServer::Submitted BatchServer::submit_job(const JsonValue& request) {
     out.property = parse_property(p->as_string());
   }
   job.property = out.property;
-  out.spec = parse_spec(*spec_json);
+  if (spec_json != nullptr) {
+    out.spec = parse_spec(*spec_json);
+  } else {
+    out.spec = core::ResiliencySpec::total(0);  // r = 1; budget unused
+  }
   job.spec = out.spec;
+  if (const JsonValue* s = request.find("strategy")) {
+    const std::string& name = s->as_string();
+    if (name == "linear") {
+      job.strategy = smt::MaxSatStrategy::Linear;
+    } else if (name == "core-guided" || name == "core_guided") {
+      job.strategy = smt::MaxSatStrategy::CoreGuided;
+    } else {
+      throw ParseError("unknown strategy '" + name + "'");
+    }
+  }
 
   job.options.solver.backend = options_.default_backend;
   if (const JsonValue* b = request.find("backend")) {
@@ -183,6 +208,12 @@ std::string BatchServer::render_outcome(const Submitted& submitted,
     line += ",\"threat_count\":" + std::to_string(outcome.analysis.threats.size());
     line += ",\"threats\":" + io::threats_to_json(outcome.analysis.threats);
   }
+  if (submitted.kind == JobKind::SecurityIndex) {
+    line += ",\"security_index\":" + io::security_index_to_json(outcome.analysis.security_index);
+  }
+  if (submitted.kind == JobKind::Harden) {
+    line += ",\"hardening\":" + io::min_cost_to_json(outcome.analysis.hardening);
+  }
   if (!outcome.diagnostics.empty()) {
     line += ",\"diagnostics\":" + io::json_quote(outcome.diagnostics);
   }
@@ -221,7 +252,9 @@ BatchServer::Dispatch BatchServer::dispatch_line(const std::string& line) {
       dispatch.kind = Dispatch::Kind::Barrier;
     } else if (op_name == "shutdown") {
       dispatch.kind = Dispatch::Kind::Shutdown;
-    } else if (op_name == "verify" || op_name == "enumerate") {
+    } else if (op_name == "verify" || op_name == "enumerate" ||
+               op_name == "security-index" || op_name == "security_index" ||
+               op_name == "harden") {
       dispatch.submitted = submit_job(request);
       dispatch.kind = Dispatch::Kind::Job;
     } else {

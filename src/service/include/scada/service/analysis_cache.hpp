@@ -25,12 +25,18 @@
 #include <vector>
 
 #include "scada/core/analyzer.hpp"
+#include "scada/core/optimize.hpp"
 #include "scada/util/metrics.hpp"
 
 namespace scada::service {
 
 /// What kind of analysis a job runs (and a cache entry answers).
-enum class JobKind { Verify, EnumerateThreats };
+enum class JobKind {
+  Verify,
+  EnumerateThreats,
+  SecurityIndex,  ///< Optimizer::security_index (only spec.r participates)
+  Harden,         ///< Optimizer::min_cost_hardening
+};
 
 [[nodiscard]] const char* to_string(JobKind kind) noexcept;
 
@@ -50,12 +56,14 @@ struct JobKey {
 /// 64-bit FNV-1a (the stable hash behind JobKey::fingerprint).
 [[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes) noexcept;
 
-/// Builds the canonical key for a verify / enumerate job. `max_vectors` and
-/// `minimal_only` are ignored for JobKind::Verify.
+/// Builds the canonical key for a job. `max_vectors` and `minimal_only` only
+/// participate for EnumerateThreats; `strategy` only for the optimization
+/// kinds (SecurityIndex/Harden) — so verify/enumerate keys are unchanged.
 [[nodiscard]] JobKey make_job_key(const core::ScadaScenario& scenario, JobKind kind,
                                   core::Property property, const core::ResiliencySpec& spec,
                                   const core::AnalyzerOptions& options,
-                                  std::size_t max_vectors = 0, bool minimal_only = true);
+                                  std::size_t max_vectors = 0, bool minimal_only = true,
+                                  smt::MaxSatStrategy strategy = smt::MaxSatStrategy::Linear);
 
 /// The canonical scenario blob used inside job keys (its Table-II
 /// serialization). Expose it so callers submitting many jobs against the
@@ -68,14 +76,19 @@ struct JobKey {
 [[nodiscard]] JobKey make_job_key(std::string_view scenario_blob, JobKind kind,
                                   core::Property property, const core::ResiliencySpec& spec,
                                   const core::AnalyzerOptions& options,
-                                  std::size_t max_vectors = 0, bool minimal_only = true);
+                                  std::size_t max_vectors = 0, bool minimal_only = true,
+                                  smt::MaxSatStrategy strategy = smt::MaxSatStrategy::Linear);
 
 /// A cached analysis answer: the verdict for Verify, the threat space for
-/// EnumerateThreats (its `verdict` then summarizes sat/unsat of the space).
+/// EnumerateThreats (its `verdict` then summarizes sat/unsat of the space),
+/// the optimization result for SecurityIndex/Harden (verdict summarizes
+/// attackable/achievable: Sat = still attackable, Unsat = safe/fixed).
 struct CachedAnalysis {
   JobKind kind = JobKind::Verify;
   core::VerificationResult verdict;
   std::vector<core::ThreatVector> threats;
+  core::SecurityIndexResult security_index;
+  core::MinCostResult hardening;
 };
 
 struct CacheStats {

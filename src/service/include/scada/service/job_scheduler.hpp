@@ -56,6 +56,8 @@ struct JobRequest {
   /// EnumerateThreats budgets (ignored for Verify).
   std::size_t max_vectors = 1024;
   bool minimal_only = true;
+  /// MaxSAT strategy of the optimization kinds (SecurityIndex/Harden).
+  smt::MaxSatStrategy strategy = smt::MaxSatStrategy::Linear;
   /// Higher runs first; FIFO within a level.
   int priority = 0;
   /// Wall-clock budget measured from submit() — it covers queue wait plus

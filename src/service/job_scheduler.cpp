@@ -73,7 +73,7 @@ JobScheduler::Ticket JobScheduler::submit(JobRequest request) {
   // submissions against the same scenario key in microseconds.
   const std::shared_ptr<const std::string> blob = scenario_blob(request.scenario);
   JobKey key = make_job_key(*blob, request.kind, request.property, request.spec, request.options,
-                            request.max_vectors, request.minimal_only);
+                            request.max_vectors, request.minimal_only, request.strategy);
   const Clock::time_point now = Clock::now();
 
   StatePtr job;
@@ -240,6 +240,40 @@ void JobScheduler::execute(const StatePtr& job, JobOutcome& out) {
               static_cast<double>(ss.portfolio_winner));
         }
       }
+    } else if (req.kind == JobKind::SecurityIndex || req.kind == JobKind::Harden) {
+      core::OptimizerOptions opt_options;
+      opt_options.analyzer = options;
+      opt_options.strategy = req.strategy;
+      core::Optimizer optimizer(*req.scenario, opt_options);
+      const util::WallTimer opt_timer;
+      if (req.kind == JobKind::SecurityIndex) {
+        core::SecurityIndexResult r = optimizer.security_index(req.property, req.spec.r);
+        // Summary verdict: Sat = attackable (some failure set breaks the
+        // property), Unsat = safe at every cardinality, Unknown = interrupted
+        // (and therefore not cacheable).
+        out.analysis.verdict.result = !r.completed ? smt::SolveResult::Unknown
+                                      : r.attackable ? smt::SolveResult::Sat
+                                                     : smt::SolveResult::Unsat;
+        out.analysis.verdict.certified = r.certified;
+        if (r.completed && r.attackable) out.analysis.verdict.threat = r.witness;
+        metrics_->counter("opt.cores_extracted").inc(r.maxsat.cores_extracted);
+        metrics_->counter("opt.maxsat_bound_tightenings").inc(r.maxsat.bound_tightenings);
+        out.analysis.security_index = std::move(r);
+      } else {
+        core::MinCostResult r = optimizer.min_cost_hardening(req.property, req.spec);
+        // Achievable hardening carries its closing verification (Unsat =
+        // resilient after the upgrades); an exhausted candidate pool reports
+        // Sat (the spec stays violated under every affordable upgrade set).
+        out.analysis.verdict = r.verification;
+        out.analysis.verdict.result = !r.completed ? smt::SolveResult::Unknown
+                                      : r.achievable ? smt::SolveResult::Unsat
+                                                     : smt::SolveResult::Sat;
+        metrics_->counter("opt.cores_extracted").inc(r.maxsat.cores_extracted);
+        metrics_->counter("opt.maxsat_bound_tightenings").inc(r.maxsat.bound_tightenings);
+        metrics_->counter("opt.cegis_iterations").inc(r.cegis_iterations);
+        out.analysis.hardening = std::move(r);
+      }
+      metrics_->histogram("opt.solve_ms").record(opt_timer.seconds() * 1000.0);
     } else {
       out.analysis.threats =
           analyzer.enumerate_threats(req.property, req.spec, req.max_vectors, req.minimal_only);

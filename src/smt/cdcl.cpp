@@ -388,6 +388,36 @@ bool CdclSolver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   return true;
 }
 
+void CdclSolver::analyze_final(Lit failed) {
+  // MiniSat's analyzeFinal: starting from the falsified assumption, walk the
+  // trail top-down expanding reasons. Decisions reached this way are exactly
+  // the earlier assumptions that participate in forcing `failed` false; the
+  // walk stops at the level-0 boundary because level-0 facts hold without any
+  // assumption. Runs on the live trail, before solve() backtracks.
+  core_.clear();
+  core_.push_back(failed);
+  if (decision_level() == 0) return;
+  seen_[static_cast<std::size_t>(failed.var())] = true;
+  for (std::size_t i = trail_.size(); i-- > trail_lim_[0];) {
+    const auto v = static_cast<std::size_t>(trail_[i].var());
+    if (!seen_[v]) continue;
+    const ClauseRef r = reason_[v];
+    if (r == kNoReason) {
+      // Every decision above level 0 here is an assumption (search decisions
+      // only start after the whole assumption prefix is placed).
+      core_.push_back(trail_[i]);
+    } else {
+      for (const Lit q : clauses_[r].lits) {
+        const auto qv = static_cast<std::size_t>(q.var());
+        if (qv != v && level_[qv] > 0) seen_[qv] = true;
+      }
+    }
+    seen_[v] = false;
+  }
+  // If ~failed was implied at level 0 the walk never visits it; clear the mark.
+  seen_[static_cast<std::size_t>(failed.var())] = false;
+}
+
 void CdclSolver::bump_var(Var v) {
   auto& a = activity_[static_cast<std::size_t>(v)];
   a += var_inc_;
@@ -500,6 +530,7 @@ std::uint32_t CdclSolver::luby(std::uint32_t i) noexcept {
 }
 
 SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
+  core_.clear();
   if (unsat_) return SolveResult::Unsat;
   if (interrupted()) return SolveResult::Unknown;
   cancel_until(0);
@@ -625,6 +656,9 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
         continue;
       }
       if (v == LBool::False) {
+        // The clause set plus the earlier assumptions force this assumption
+        // false. Extract the responsible subset while the trail is still live.
+        analyze_final(a);
         cancel_until(0);
         return SolveResult::Unsat;
       }

@@ -138,6 +138,14 @@ class CdclSolver {
   /// model satisfies every clause ever added, not just the simplified set.
   [[nodiscard]] bool model_value(Var v) const;
 
+  /// Final-conflict assumption core. After solve(assumptions) returns Unsat
+  /// because the assumptions are jointly inconsistent with the clauses, this
+  /// holds a subset of those assumption literals sufficient for the
+  /// inconsistency (MiniSat's analyzeFinal). Empty when the last Unsat was
+  /// global (no assumptions needed — the clause set alone is unsat) and after
+  /// Sat/Unknown results. Not guaranteed minimal.
+  [[nodiscard]] const std::vector<Lit>& unsat_core() const noexcept { return core_; }
+
   /// Marks `v` ineligible for variable elimination (permanent, idempotent).
   /// If `v` was already eliminated, its clauses are restored first. Callers
   /// that read models for a fixed variable set (Session extraction vars) or
@@ -221,6 +229,10 @@ class CdclSolver {
   // --- conflict analysis ---
   void analyze(ClauseRef conflict, std::vector<Lit>& learned, std::uint32_t& backtrack_level);
   [[nodiscard]] bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+  /// Fills core_ with the assumptions responsible for forcing `failed` false
+  /// (failed itself included). Must run on the live trail, before the
+  /// enclosing solve() backtracks to level 0.
+  void analyze_final(Lit failed);
 
   // --- heuristics ---
   void bump_var(Var v);
@@ -316,6 +328,7 @@ class CdclSolver {
   std::vector<std::int32_t> heap_pos_;  // Var -> index in heap_, -1 if absent
 
   std::vector<bool> model_;  // indexed by Var; snapshot of last Sat assignment
+  std::vector<Lit> core_;    // assumption core of the last assumption-relative Unsat
 
   // scratch buffers for analyze()
   std::vector<bool> seen_;

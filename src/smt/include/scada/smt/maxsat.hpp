@@ -1,0 +1,130 @@
+// Weighted partial MaxSAT over the Session facade.
+//
+// A MaxSatSolver collects hard constraints (must hold) and weighted soft
+// constraints (each violation costs its weight) over a caller-owned
+// FormulaBuilder and computes a minimum-cost model. Two strategies:
+//
+//   * Linear (SAT->UNSAT): relax every soft with a violation indicator, find
+//     any model, then repeatedly tighten "cost <= C-1" through a totalizer
+//     whose bound is an *assumption* (never an assertion), so one incremental
+//     session carries the whole descent and the instance stays reusable for
+//     further add_hard() calls (the CEGIS loop in core::Optimizer).
+//   * CoreGuided (Fu-Malik / WPM1): assume the soft constraints themselves,
+//     extract the final-conflict core (Session::unsat_core) on each Unsat,
+//     relax the core members with fresh variables under an exactly-one
+//     constraint, split weights (WPM1), and repeat until Sat. The sum of
+//     core minima is a proven lower bound at every step. With `stratify`,
+//     weighted instances are processed in descending weight strata.
+//
+// Both strategies prove optimality (status Sat means the bound is exact).
+// With `certify_bound` the closing bound is re-proved in a fresh
+// proof-logged CDCL session — hard constraints plus "cost <= optimum-1"
+// must be Unsat with a DRAT proof the independent checker accepts.
+// Interrupts flow through MaxSatOptions::interrupt to every solver call;
+// an interrupted run degrades to status Unknown, keeping the best model
+// found so far (linear) or the proven lower bound (core-guided).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "scada/smt/formula.hpp"
+#include "scada/smt/session.hpp"
+
+namespace scada::smt {
+
+/// Asserts a one-directional totalizer ("count >= j implies output o_j") over
+/// `leaves` into `session`; returns the outputs o_1..o_n. Assuming or
+/// asserting !o_j then caps the true-leaf count at j-1 without
+/// over-constraining (outputs are free in the other direction). Duplicate
+/// leaves are counted once per occurrence — weight by repetition.
+std::vector<Formula> encode_totalizer(FormulaBuilder& builder, Session& session,
+                                      std::span<const Formula> leaves);
+
+enum class MaxSatStrategy : std::uint8_t {
+  Linear,      ///< SAT->UNSAT descent with assumed totalizer bounds
+  CoreGuided,  ///< Fu-Malik / WPM1 relaxation driven by unsat cores
+};
+
+struct MaxSatOptions {
+  MaxSatStrategy strategy = MaxSatStrategy::Linear;
+  /// Backend and per-solve budgets of every session the engine opens.
+  SessionOptions session;
+  /// Cooperative cancellation (owned by the caller); checked before and
+  /// inside every solver call.
+  const std::atomic<bool>* interrupt = nullptr;
+  /// Re-prove the final bound in a fresh proof-logged CDCL session and run
+  /// the independent DRAT checker over it. CDCL-backend sessions only; a
+  /// positive optimum only (cost 0 is trivially optimal).
+  bool certify_bound = false;
+  /// CoreGuided: process softs in descending weight strata (WPM1
+  /// stratification). No effect on unit-weight instances.
+  bool stratify = true;
+};
+
+struct MaxSatResult {
+  /// Sat: minimum cost found AND proven. Unsat: the hard constraints alone
+  /// are inconsistent. Unknown: interrupted or budget-exhausted.
+  SolveResult status = SolveResult::Unknown;
+  /// A best-model snapshot is available through MaxSatSolver::value()
+  /// (always true for Sat; true for Unknown if any model was found).
+  bool has_model = false;
+  /// Cost of the best model (meaningful when has_model).
+  std::uint64_t cost = 0;
+  /// Proven bounds at exit: lower == upper == cost when status is Sat.
+  std::uint64_t lower_bound = 0;
+  std::uint64_t upper_bound = 0;
+  std::uint64_t iterations = 0;         ///< solver calls
+  std::uint64_t cores_extracted = 0;    ///< CoreGuided: unsat cores consumed
+  std::uint64_t bound_tightenings = 0;  ///< Linear: assumed-bound descents
+  /// The closing bound carries a checker-accepted DRAT certificate.
+  bool certified = false;
+  std::string detail;
+};
+
+class MaxSatSolver {
+ public:
+  /// The builder (which gains indicator/relaxation variables) must outlive
+  /// the solver.
+  explicit MaxSatSolver(FormulaBuilder& builder, MaxSatOptions options = {});
+
+  /// Adds a constraint every solution must satisfy. May be called between
+  /// solve() calls; the next solve() honors it.
+  void add_hard(Formula f);
+
+  /// Adds a soft constraint; violating it costs `weight` (> 0, or
+  /// ConfigError). Duplicate formulas merge by summing weights.
+  void add_soft(Formula f, std::uint64_t weight = 1);
+
+  /// Computes a minimum-cost model of hard + soft. Restartable: later calls
+  /// see constraints added in between.
+  MaxSatResult solve();
+
+  /// Evaluates `f` under the best model of the last solve(); only meaningful
+  /// when that result had has_model.
+  [[nodiscard]] bool value(Formula f) const;
+
+ private:
+  struct Soft {
+    Formula f;
+    std::uint64_t weight;
+  };
+
+  MaxSatResult solve_linear();
+  MaxSatResult solve_core_guided();
+  void certify_bound(MaxSatResult& result);
+  void snapshot_model(const Session& session);
+  [[nodiscard]] std::uint64_t model_cost() const;
+
+  FormulaBuilder& builder_;
+  MaxSatOptions options_;
+  std::vector<Formula> hard_;
+  std::vector<Soft> soft_;
+  std::vector<bool> model_;  ///< best model over builder vars (snapshot-time size)
+  bool has_model_ = false;
+};
+
+}  // namespace scada::smt

@@ -192,6 +192,10 @@ class PortfolioSolver {
   /// Winner's model (falls back to worker 0); only meaningful after Sat.
   [[nodiscard]] bool model_value(Var v) const;
 
+  /// Winning worker's assumption core (CdclSolver::unsat_core contract).
+  /// Empty when the last solve had no winner or the Unsat was global.
+  [[nodiscard]] const std::vector<Lit>& unsat_core() const;
+
   /// External cooperative interruption (same contract as CdclSolver); the
   /// flag is polled during solve() and fanned out to every worker.
   void set_interrupt(const std::atomic<bool>* flag) noexcept { external_interrupt_ = flag; }

@@ -11,6 +11,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "scada/smt/dimacs.hpp"
 #include "scada/smt/drat.hpp"
@@ -121,6 +122,9 @@ class SessionImpl {
   }
   /// Exports the recorded CNF + proof. Default: nothing to export.
   virtual std::optional<UnsatCertificate> export_certificate() const { return std::nullopt; }
+  /// Indices (into the assumption span of the last solve) of the assumptions
+  /// in the backend's final-conflict core. Default: no core support (empty).
+  virtual std::vector<std::size_t> last_core_indices() const { return {}; }
 };
 
 /// Factory implemented in z3_backend.cpp (keeps z3++.h out of public headers).
@@ -132,6 +136,11 @@ std::unique_ptr<SessionImpl> make_cdcl_impl(const FormulaBuilder& builder,
 /// Factory implemented in portfolio.cpp (clause-sharing CDCL portfolio).
 std::unique_ptr<SessionImpl> make_portfolio_impl(const FormulaBuilder& builder,
                                                  const SessionOptions& options);
+/// Maps a solver-level assumption core back to positions in the assumption
+/// span whose CNF-defined literals are `assumption_lits` (session.cpp).
+/// Deduplicated, ascending.
+std::vector<std::size_t> map_core_to_indices(std::span<const Lit> core,
+                                             std::span<const Lit> assumption_lits);
 }  // namespace detail
 
 class Session {
@@ -161,6 +170,14 @@ class Session {
   /// Evaluates any formula of the builder under the last Sat model.
   /// Variables never mentioned in an assertion evaluate to false.
   [[nodiscard]] bool value(Formula f) const;
+
+  /// Assumption core of the last solve: when solve(assumptions) returned
+  /// Unsat, a subset of those assumption formulas sufficient (together with
+  /// the asserted constraints) for the inconsistency. Empty when the
+  /// constraint set alone is unsat, after Sat/Unknown, and on backends
+  /// without core support. Not guaranteed minimal. The MaxSAT engine's
+  /// core-guided strategy is built on this.
+  [[nodiscard]] std::vector<Formula> unsat_core() const;
 
   /// Cooperative cancellation for portfolio solving: while `flag` (owned by
   /// the caller, e.g. a util::CancellationToken) reads true, solve() returns
@@ -192,6 +209,7 @@ class Session {
   SessionStats stats_;
   const std::atomic<bool>* interrupt_ = nullptr;
   SolveResult last_result_ = SolveResult::Unknown;
+  std::vector<Formula> last_assumptions_;  ///< assumption span of the last solve
 };
 
 }  // namespace scada::smt

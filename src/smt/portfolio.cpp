@@ -193,6 +193,12 @@ bool PortfolioSolver::model_value(Var v) const {
   return workers_[static_cast<std::size_t>(winner_ < 0 ? 0 : winner_)]->model_value(v);
 }
 
+const std::vector<Lit>& PortfolioSolver::unsat_core() const {
+  static const std::vector<Lit> kEmpty;
+  if (winner_ < 0) return kEmpty;
+  return workers_[static_cast<std::size_t>(winner_)]->unsat_core();
+}
+
 SolveResult PortfolioSolver::solve(std::span<const Lit> assumptions) {
   const auto externally_interrupted = [this] {
     return external_interrupt_ != nullptr &&
@@ -320,13 +326,21 @@ class PortfolioSessionImpl final : public SessionImpl {
   void assert_formula(Formula f) override { transformer_.assert_root(f); }
 
   SolveResult solve(std::span<const Formula> assumptions) override {
-    std::vector<Lit> lits;
-    lits.reserve(assumptions.size());
-    for (const Formula f : assumptions) lits.push_back(transformer_.define(f));
+    last_assumption_lits_.clear();
+    last_assumption_lits_.reserve(assumptions.size());
+    for (const Formula f : assumptions) {
+      last_assumption_lits_.push_back(transformer_.define(f));
+    }
     freeze_extraction_vars();
-    const SolveResult r = solver_.solve(lits);
+    const SolveResult r = solver_.solve(last_assumption_lits_);
     if (r == SolveResult::Sat) snapshot_model();
     return r;
+  }
+
+  std::vector<std::size_t> last_core_indices() const override {
+    // The winning worker's final-conflict core; every worker saw the same
+    // assumption literals, so the mapping is winner-independent.
+    return map_core_to_indices(solver_.unsat_core(), last_assumption_lits_);
   }
 
   bool var_value(Var builder_var) const override {
@@ -432,6 +446,7 @@ class PortfolioSessionImpl final : public SessionImpl {
   PortfolioSinkAdapter sink_;
   CnfTransformer transformer_;
   std::vector<bool> model_;
+  std::vector<Lit> last_assumption_lits_;  ///< defined literals of the last solve
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "scada/smt/session.hpp"
 
+#include <algorithm>
 #include <cassert>
 
 #include "scada/smt/cdcl.hpp"
@@ -45,16 +46,22 @@ class CdclSessionImpl final : public SessionImpl {
   void assert_formula(Formula f) override { transformer_.assert_root(f); }
 
   SolveResult solve(std::span<const Formula> assumptions) override {
-    std::vector<Lit> lits;
-    lits.reserve(assumptions.size());
-    for (const Formula f : assumptions) lits.push_back(transformer_.define(f));
+    last_assumption_lits_.clear();
+    last_assumption_lits_.reserve(assumptions.size());
+    for (const Formula f : assumptions) {
+      last_assumption_lits_.push_back(transformer_.define(f));
+    }
     // Builder variables are the model-extraction set (and candidates for
     // future assumptions/blocking clauses): inprocessing must never
     // eliminate them, or snapshot_model would read stale values.
     freeze_extraction_vars();
-    const SolveResult r = solver_.solve(lits);
+    const SolveResult r = solver_.solve(last_assumption_lits_);
     if (r == SolveResult::Sat) snapshot_model();
     return r;
+  }
+
+  std::vector<std::size_t> last_core_indices() const override {
+    return map_core_to_indices(solver_.unsat_core(), last_assumption_lits_);
   }
 
   bool var_value(Var builder_var) const override {
@@ -156,6 +163,7 @@ class CdclSessionImpl final : public SessionImpl {
   CdclSinkAdapter sink_;
   CnfTransformer transformer_;
   std::vector<bool> model_;
+  std::vector<Lit> last_assumption_lits_;  ///< defined literals of the last solve
 };
 
 }  // namespace
@@ -163,6 +171,25 @@ class CdclSessionImpl final : public SessionImpl {
 std::unique_ptr<SessionImpl> make_cdcl_impl(const FormulaBuilder& builder,
                                             const SessionOptions& options) {
   return std::make_unique<CdclSessionImpl>(builder, options);
+}
+
+std::vector<std::size_t> map_core_to_indices(std::span<const Lit> core,
+                                             std::span<const Lit> assumption_lits) {
+  std::vector<std::size_t> indices;
+  indices.reserve(core.size());
+  for (const Lit c : core) {
+    // Duplicate assumption formulas define the same literal; the first
+    // position represents them all.
+    for (std::size_t i = 0; i < assumption_lits.size(); ++i) {
+      if (assumption_lits[i] == c) {
+        indices.push_back(i);
+        break;
+      }
+    }
+  }
+  std::sort(indices.begin(), indices.end());
+  indices.erase(std::unique(indices.begin(), indices.end()), indices.end());
+  return indices;
 }
 
 }  // namespace detail
@@ -189,6 +216,7 @@ void Session::assert_formula(Formula f) { impl_->assert_formula(f); }
 SolveResult Session::solve() { return solve(std::span<const Formula>{}); }
 
 SolveResult Session::solve(std::span<const Formula> assumptions) {
+  last_assumptions_.assign(assumptions.begin(), assumptions.end());
   if (interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed)) {
     // Cancelled before the solve started; don't touch backend state.
     last_result_ = SolveResult::Unknown;
@@ -213,6 +241,15 @@ CertificateResult Session::certify_last_result() const {
 
 std::optional<UnsatCertificate> Session::export_certificate() const {
   return impl_->export_certificate();
+}
+
+std::vector<Formula> Session::unsat_core() const {
+  std::vector<Formula> core;
+  if (last_result_ != SolveResult::Unsat) return core;
+  for (const std::size_t i : impl_->last_core_indices()) {
+    if (i < last_assumptions_.size()) core.push_back(last_assumptions_[i]);
+  }
+  return core;
 }
 
 bool Session::value(Formula f) const {

@@ -5,6 +5,7 @@
 // of encoding the paper runs through Z3 [5].
 #include <z3++.h>
 
+#include <algorithm>
 #include <unordered_map>
 #include <vector>
 
@@ -31,6 +32,7 @@ class Z3SessionImpl final : public SessionImpl {
   void assert_formula(Formula f) override { solver_.add(translate(f)); }
 
   SolveResult solve(std::span<const Formula> assumptions) override {
+    core_indices_.clear();
     z3::expr_vector assumed(ctx_);
     for (const Formula f : assumptions) assumed.push_back(translate(f));
     switch (assumptions.empty() ? solver_.check() : solver_.check(assumed)) {
@@ -38,13 +40,17 @@ class Z3SessionImpl final : public SessionImpl {
         snapshot_model();
         return SolveResult::Sat;
       }
-      case z3::unsat:
+      case z3::unsat: {
+        if (!assumptions.empty()) snapshot_core(assumed);
         return SolveResult::Unsat;
+      }
       case z3::unknown:
         return SolveResult::Unknown;
     }
     return SolveResult::Unknown;
   }
+
+  std::vector<std::size_t> last_core_indices() const override { return core_indices_; }
 
   bool var_value(Var builder_var) const override {
     const auto v = static_cast<std::size_t>(builder_var);
@@ -59,7 +65,11 @@ class Z3SessionImpl final : public SessionImpl {
   z3::expr var_expr(Var v) {
     const auto it = var_exprs_.find(v);
     if (it != var_exprs_.end()) return it->second;
-    z3::expr e = ctx_.bool_const(builder_.var_name(v).c_str());
+    // Key the Z3 symbol by var number, not name alone: builder names need
+    // not be unique (bulk-minted auxiliaries share one label), and two
+    // distinct builder vars must never collapse into one Z3 constant.
+    z3::expr e =
+        ctx_.bool_const((builder_.var_name(v) + "!" + std::to_string(v)).c_str());
     var_exprs_.emplace(v, e);
     return e;
   }
@@ -114,6 +124,25 @@ class Z3SessionImpl final : public SessionImpl {
     return e;
   }
 
+  /// Maps Z3's unsat core (a subset of the assumption exprs) back to the
+  /// positions of the assumption span. translate() caches by node id, so a
+  /// repeated assumption formula is the identical AST; the first position
+  /// represents all duplicates.
+  void snapshot_core(const z3::expr_vector& assumed) {
+    const z3::expr_vector core = solver_.unsat_core();
+    for (unsigned c = 0; c < core.size(); ++c) {
+      for (unsigned a = 0; a < assumed.size(); ++a) {
+        if (z3::eq(core[c], assumed[a])) {
+          core_indices_.push_back(a);
+          break;
+        }
+      }
+    }
+    std::sort(core_indices_.begin(), core_indices_.end());
+    core_indices_.erase(std::unique(core_indices_.begin(), core_indices_.end()),
+                        core_indices_.end());
+  }
+
   void snapshot_model() {
     const z3::model m = solver_.get_model();
     model_.assign(static_cast<std::size_t>(builder_.num_vars()) + 1, false);
@@ -130,6 +159,7 @@ class Z3SessionImpl final : public SessionImpl {
   std::unordered_map<Var, z3::expr> var_exprs_;
   std::unordered_map<std::int32_t, z3::expr> node_exprs_;
   std::vector<bool> model_;
+  std::vector<std::size_t> core_indices_;  ///< core of the last assumption-relative unsat
 };
 
 }  // namespace

@@ -85,5 +85,37 @@ TEST(HardeningTest, UpgradedScenarioActuallyVerifies) {
                   .resilient());
 }
 
+TEST(HardeningTest, ApplyHardeningIsIdempotent) {
+  const ScadaScenario s = make_case_study();
+  const std::vector<HardeningAction> upgrades = {{1, 9}, {10, 11}};
+  const ScadaScenario once = apply_hardening(s, upgrades);
+  // Re-applying the same upgrade set (the CEGIS loop re-applies candidate
+  // sets every round) must not accumulate duplicate suites.
+  const ScadaScenario twice = apply_hardening(once, upgrades);
+  for (const HardeningAction& action : upgrades) {
+    const auto* first = once.policy().pair_suites(action.a, action.b);
+    const auto* second = twice.policy().pair_suites(action.a, action.b);
+    ASSERT_NE(first, nullptr);
+    ASSERT_NE(second, nullptr);
+    EXPECT_EQ(*first, *second);
+    // No duplicates within one application either.
+    for (std::size_t i = 0; i < first->size(); ++i) {
+      for (std::size_t j = i + 1; j < first->size(); ++j) {
+        EXPECT_FALSE((*first)[i] == (*first)[j])
+            << "duplicate suite on hop (" << action.a << "," << action.b << ")";
+      }
+    }
+  }
+}
+
+TEST(HardeningTest, ApplyHardeningSecuresTheHop) {
+  const ScadaScenario s = make_case_study();
+  ASSERT_FALSE(s.policy().secured_hop(1, 9, s.crypto_rules()));
+  const ScadaScenario hardened = apply_hardening(s, {{1, 9}});
+  EXPECT_TRUE(hardened.policy().secured_hop(1, 9, hardened.crypto_rules()));
+  // Untouched hops keep their profile.
+  EXPECT_FALSE(hardened.policy().secured_hop(10, 11, hardened.crypto_rules()));
+}
+
 }  // namespace
 }  // namespace scada::core

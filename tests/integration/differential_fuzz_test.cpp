@@ -14,6 +14,9 @@
 // simplifier-induced divergences are attributable, and a sixth runs the
 // clause-sharing portfolio (3 diversified workers racing over the same CNF,
 // certification on) so sharing and winner-cancellation face the same gate.
+// A seventh configuration gates the optimization subsystem: the MaxSAT
+// security index (both strategies, both backends) must equal the brute-force
+// minimum attack cardinality.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -21,6 +24,7 @@
 
 #include "scada/core/analyzer.hpp"
 #include "scada/core/brute_force.hpp"
+#include "scada/core/optimize.hpp"
 #include "scada/core/parallel_analyzer.hpp"
 #include "scada/synth/generator.hpp"
 #include "scada/util/rng.hpp"
@@ -178,6 +182,54 @@ TEST(DifferentialFuzzTest, ThreatSetsAgreeOnRandomScenarios) {
     if (!smt_set.empty()) ++nonempty;
   }
   EXPECT_GT(nonempty, 0) << "fuzz corpus never produced a threat — weak test";
+}
+
+TEST(DifferentialFuzzTest, SecurityIndexMatchesTheBruteForceMinimum) {
+  // Seventh configuration: for small random scenarios the MaxSAT security
+  // index must equal the smallest total failure budget k with an attackable
+  // (Sat) brute-force verdict, across both backends and both strategies. Any
+  // disagreement is a soft-clause encoding, core-extraction, or bound bug.
+  util::Rng rng(0x0517);
+  int attackable_rounds = 0;
+  for (int round = 0; round < 8; ++round) {
+    FuzzCase c = draw_case(rng);
+    c.config.buses = 5 + static_cast<int>(rng.index(2));  // keep brute force cheap
+    c.encoder.links_can_fail = false;  // the index soft-clauses device vars only
+    const ScadaScenario s = synth::generate_scenario(c.config);
+    const int limit = static_cast<int>(s.ied_ids().size() + s.rtu_ids().size());
+    ASSERT_LE(limit, 16) << describe(c);  // brute force sweeps 2^limit subsets
+
+    BruteForceVerifier brute(s, c.encoder);
+    std::optional<int> expected;
+    for (int k = 0; k <= limit && !expected.has_value(); ++k) {
+      if (brute.verify(c.property, ResiliencySpec::total(k, c.spec.r)).result ==
+          smt::SolveResult::Sat) {
+        expected = k;
+      }
+    }
+    if (expected.has_value()) ++attackable_rounds;
+
+    for (const auto backend : {smt::Backend::Z3, smt::Backend::Cdcl}) {
+      for (const auto strategy :
+           {smt::MaxSatStrategy::Linear, smt::MaxSatStrategy::CoreGuided}) {
+        OptimizerOptions options;
+        options.analyzer.encoder = c.encoder;
+        options.analyzer.solver.backend = backend;
+        options.strategy = strategy;
+        Optimizer optimizer(s, options);
+        const SecurityIndexResult result = optimizer.security_index(c.property, c.spec.r);
+        ASSERT_TRUE(result.completed) << describe(c);
+        EXPECT_EQ(result.attackable, expected.has_value())
+            << smt::to_string(backend) << " " << describe(c);
+        if (expected.has_value() && result.attackable) {
+          EXPECT_EQ(result.index, static_cast<std::uint64_t>(*expected))
+              << smt::to_string(backend) << " " << describe(c);
+          EXPECT_EQ(result.witness.size(), result.index) << describe(c);
+        }
+      }
+    }
+  }
+  EXPECT_GT(attackable_rounds, 0) << "corpus never produced an attack — weak test";
 }
 
 TEST(DifferentialFuzzTest, BadDataDetectabilityVerdictsAgree) {

@@ -127,6 +127,59 @@ TEST(BatchServerTest, MalformedRequestsAreErrorsNotCrashes) {
   EXPECT_TRUE(field(ok, "ok").as_bool());
 }
 
+TEST(BatchServerTest, SecurityIndexOpReturnsIndexAndWitness) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"id":7,"op":"security-index","scenario":{"builtin":"case_study_fig3"},)"
+      R"("property":"secured_observability"})");
+  EXPECT_TRUE(field(r, "ok").as_bool());
+  EXPECT_EQ(field(r, "status").as_string(), "done");
+  const io::JsonValue& index = field(r, "security_index");
+  EXPECT_TRUE(field(index, "attackable").as_bool());
+  EXPECT_EQ(field(index, "index").as_int(), 2);
+  EXPECT_TRUE(field(index, "completed").as_bool());
+  EXPECT_FALSE(field(index, "witness").is_null());
+}
+
+TEST(BatchServerTest, HardenOpReturnsUpgradePlan) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"id":8,"op":"harden","scenario":{"builtin":"case_study_fig3"},)"
+      R"("property":"secured_observability","spec":{"k1":1,"k2":1},"strategy":"core-guided"})");
+  EXPECT_TRUE(field(r, "ok").as_bool());
+  const io::JsonValue& hardening = field(r, "hardening");
+  EXPECT_TRUE(field(hardening, "achievable").as_bool());
+  EXPECT_TRUE(field(hardening, "completed").as_bool());
+  EXPECT_GE(field(hardening, "cost").as_int(), 1);
+  EXPECT_FALSE(field(hardening, "actions").items().empty());
+  // Achievable hardening summarizes as a resilient (unsat) verdict.
+  EXPECT_EQ(field(field(r, "verification"), "result").as_string(), "unsat");
+}
+
+TEST(BatchServerTest, UnknownStrategyIsAnError) {
+  BatchServer server;
+  const io::JsonValue r = response(
+      server,
+      R"({"op":"security-index","scenario":{"builtin":"case_study_fig3"},)"
+      R"("strategy":"simulated-annealing"})");
+  EXPECT_FALSE(field(r, "ok").as_bool());
+  EXPECT_FALSE(field(r, "error").as_string().empty());
+}
+
+TEST(BatchServerTest, OptimizationMetricsSurfaceInStats) {
+  BatchServer server;
+  (void)response(server,
+                 R"({"op":"security-index","scenario":{"builtin":"case_study_fig3"},)"
+                 R"("property":"secured_observability"})");
+  const io::JsonValue stats = response(server, R"({"id":"s","op":"stats"})");
+  const io::JsonValue& metrics = field(stats, "metrics");
+  EXPECT_GE(field(field(metrics, "counters"), "opt.maxsat_bound_tightenings").as_int(), 1);
+  const io::JsonValue& histograms = field(metrics, "histograms");
+  EXPECT_GE(field(field(histograms, "opt.solve_ms"), "count").as_int(), 1);
+}
+
 TEST(BatchServerTest, StatsSnapshotsCacheAndScheduler) {
   BatchServer server;
   const std::string line =

@@ -215,5 +215,64 @@ TEST(JobSchedulerTest, MixedBatchDegradesOnlyTheDoomedJob) {
   EXPECT_EQ(ok2.outcome.get().analysis.verdict.result, smt::SolveResult::Sat);
 }
 
+TEST(JobSchedulerTest, SecurityIndexJobDeliversIndexAndMetrics) {
+  JobScheduler scheduler(single_threaded());
+  JobRequest request;
+  request.kind = JobKind::SecurityIndex;
+  request.scenario = case_study();
+  request.property = core::Property::SecuredObservability;
+
+  const JobOutcome outcome = scheduler.submit(request).outcome.get();
+  EXPECT_EQ(outcome.status, JobStatus::Done);
+  // Attackable: summary verdict Sat, with the minimum witness attached.
+  EXPECT_EQ(outcome.analysis.verdict.result, smt::SolveResult::Sat);
+  EXPECT_TRUE(outcome.analysis.security_index.attackable);
+  EXPECT_EQ(outcome.analysis.security_index.index, 2u);
+  ASSERT_TRUE(outcome.analysis.verdict.threat.has_value());
+  EXPECT_EQ(outcome.analysis.verdict.threat->size(), 2u);
+  EXPECT_GE(scheduler.metrics().histogram("opt.solve_ms").snapshot().count, 1u);
+
+  // Identical resubmission is served from the cache.
+  const JobOutcome warm = scheduler.submit(request).outcome.get();
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(warm.analysis.security_index.index, 2u);
+}
+
+TEST(JobSchedulerTest, HardenJobDeliversPlanAndCounters) {
+  JobScheduler scheduler(single_threaded());
+  JobRequest request;
+  request.kind = JobKind::Harden;
+  request.scenario = case_study();
+  request.property = core::Property::SecuredObservability;
+  request.spec = core::ResiliencySpec::per_type(1, 1);
+
+  const JobOutcome outcome = scheduler.submit(request).outcome.get();
+  EXPECT_EQ(outcome.status, JobStatus::Done);
+  // Achievable: summary verdict Unsat (resilient after the upgrades).
+  EXPECT_EQ(outcome.analysis.verdict.result, smt::SolveResult::Unsat);
+  EXPECT_TRUE(outcome.analysis.hardening.achievable);
+  EXPECT_GT(outcome.analysis.hardening.cost, 0u);
+  EXPECT_FALSE(outcome.analysis.hardening.hardening.empty());
+  EXPECT_GE(scheduler.metrics().counter("opt.cegis_iterations").value(), 1u);
+}
+
+TEST(JobSchedulerTest, StrategyIsPartOfTheJobKey) {
+  JobScheduler scheduler(single_threaded());
+  JobRequest linear;
+  linear.kind = JobKind::SecurityIndex;
+  linear.scenario = case_study();
+  linear.property = core::Property::SecuredObservability;
+  JobRequest core_guided = linear;
+  core_guided.strategy = smt::MaxSatStrategy::CoreGuided;
+
+  const JobOutcome a = scheduler.submit(linear).outcome.get();
+  const JobOutcome b = scheduler.submit(core_guided).outcome.get();
+  // Different strategies never share a cache slot, but agree on the optimum.
+  EXPECT_NE(a.fingerprint, b.fingerprint);
+  EXPECT_FALSE(b.cache_hit);
+  EXPECT_EQ(a.analysis.security_index.index, b.analysis.security_index.index);
+  EXPECT_GE(scheduler.metrics().counter("opt.cores_extracted").value(), 1u);
+}
+
 }  // namespace
 }  // namespace scada::service

@@ -224,6 +224,38 @@ TEST(CdclTest, ContradictoryAssumptions) {
   EXPECT_EQ(s.solve(bad), SolveResult::Unsat);
 }
 
+TEST(CdclTest, UnsatCoreNamesTheConflictingAssumptions) {
+  CdclSolver s;
+  s.add_clause({L(-1), L(-2)});  // !(1 & 2)
+  const std::vector<Lit> bad{L(1), L(2), L(3)};
+  ASSERT_EQ(s.solve(bad), SolveResult::Unsat);
+  const std::vector<Lit>& core = s.unsat_core();
+  ASSERT_EQ(core.size(), 2u);
+  for (const Lit l : core) {
+    EXPECT_TRUE(l == L(1) || l == L(2)) << "irrelevant assumption 3 in the core";
+  }
+  // The core is itself an unsat assumption set; a Sat solve clears it.
+  EXPECT_EQ(s.solve(core), SolveResult::Unsat);
+  EXPECT_EQ(s.solve(), SolveResult::Sat);
+  EXPECT_TRUE(s.unsat_core().empty());
+}
+
+TEST(CdclTest, UnsatCoreAfterPropagatedConflict) {
+  CdclSolver s;
+  // Assumption 1 propagates 2; assumption 3 propagates !2 — the final
+  // conflict only ever sees propagated literals, so core extraction must
+  // walk reasons back to the assumptions.
+  s.add_clause({L(-1), L(2)});
+  s.add_clause({L(-3), L(-2)});
+  const std::vector<Lit> bad{L(4), L(1), L(3)};
+  ASSERT_EQ(s.solve(bad), SolveResult::Unsat);
+  const std::vector<Lit>& core = s.unsat_core();
+  ASSERT_EQ(core.size(), 2u);
+  for (const Lit l : core) {
+    EXPECT_TRUE(l == L(1) || l == L(3));
+  }
+}
+
 TEST(CdclTest, ConflictBudgetReturnsUnknown) {
   CdclConfig config;
   config.max_conflicts = 1;

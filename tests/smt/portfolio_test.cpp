@@ -251,6 +251,20 @@ TEST(PortfolioSolverTest, IncrementalSolvingWithAssumptions) {
   EXPECT_EQ(solver.solve(), SolveResult::Sat);
 }
 
+TEST(PortfolioSolverTest, WinnerUnsatCoreIsForwarded) {
+  PortfolioConfig config;
+  config.workers = 3;
+  PortfolioSolver solver(config);
+  solver.add_clause({L(-1), L(-2)});
+  const Lit bad[] = {L(1), L(2), L(3)};
+  ASSERT_EQ(solver.solve(bad), SolveResult::Unsat);
+  const std::vector<Lit> core = solver.unsat_core();
+  ASSERT_EQ(core.size(), 2u);
+  for (const Lit l : core) {
+    EXPECT_TRUE(l == L(1) || l == L(2)) << "irrelevant assumption in the winner's core";
+  }
+}
+
 TEST(PortfolioSolverTest, ExternalInterruptReturnsUnknown) {
   PortfolioConfig config;
   config.workers = 2;

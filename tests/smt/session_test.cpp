@@ -210,6 +210,44 @@ TEST_P(SessionAssumptions, IncrementalBudgetSweepPattern) {
   EXPECT_EQ(boundary, 2);  // budgets 0..2 unsat, 3 sat
 }
 
+TEST_P(SessionAssumptions, UnsatCoreIsSufficientSubsetOfAssumptions) {
+  FormulaBuilder fb;
+  const Formula a = fb.mk_var("a");
+  const Formula b = fb.mk_var("b");
+  const Formula c = fb.mk_var("c");
+  Session session(fb, {.backend = GetParam()});
+  session.assert_formula(fb.mk_or({fb.mk_not(a), fb.mk_not(b)}));
+
+  const std::vector<Formula> assumptions = {a, b, c};
+  ASSERT_EQ(session.solve(assumptions), SolveResult::Unsat);
+  const std::vector<Formula> core = session.unsat_core();
+  // A subset of the assumptions, drawn from the conflicting pair only.
+  EXPECT_FALSE(core.empty());
+  for (const Formula f : core) {
+    EXPECT_TRUE(f == a || f == b) << "core contains a non-conflicting assumption";
+  }
+  // Sufficiency: re-solving under the core alone stays unsat, and the
+  // verdict flips to sat once any core member is dropped.
+  ASSERT_EQ(session.solve(core), SolveResult::Unsat);
+  for (std::size_t skip = 0; skip < core.size(); ++skip) {
+    std::vector<Formula> subset;
+    for (std::size_t i = 0; i < core.size(); ++i) {
+      if (i != skip) subset.push_back(core[i]);
+    }
+    EXPECT_EQ(session.solve(subset), SolveResult::Sat);
+  }
+}
+
+TEST_P(SessionAssumptions, UnsatCoreEmptyWhenInstanceUnsatWithoutAssumptions) {
+  FormulaBuilder fb;
+  const Formula a = fb.mk_var("a");
+  Session session(fb, {.backend = GetParam()});
+  session.assert_formula(a);
+  session.assert_formula(fb.mk_not(a));
+  const Formula b = fb.mk_var("b");
+  ASSERT_EQ(session.solve({b}), SolveResult::Unsat);
+  EXPECT_TRUE(session.unsat_core().empty());
+}
 
 TEST(SessionZ3IntegerCardinality, AgreesWithPseudoBooleanMode) {
   for (int round = 0; round < 25; ++round) {

@@ -1,0 +1,60 @@
+# Unsat-core extraction round trip plus the negative test:
+#   1. sat_solve under assumptions {1, 2, 3} on a CNF whose only clause is
+#      (-1 -2) must report unsat (exit 20) and print a core "v ... 0" line;
+#      the core must contain 1 and 2 but not the irrelevant assumption 3;
+#   2. re-running with exactly the extracted core assumptions must still be
+#      unsat — the core really is a sufficient subset, not just a claim;
+#   3. dropping any single core literal must flip the verdict to sat
+#      (exit 10) — a core extractor that over-reports (returns a superset
+#      containing padding literals) would fail step 1, one that under-reports
+#      would fail step 2, and a degenerate instance that is unsat regardless
+#      of the assumptions would fail step 3.
+#
+# Variables: SAT_SOLVE (executable), CNF (the assume_core.cnf instance).
+cmake_policy(SET CMP0057 NEW)  # IN_LIST, not on by default in script mode
+execute_process(
+  COMMAND ${SAT_SOLVE} --assume 1 --assume 2 --assume 3 ${CNF}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 20)
+  message(FATAL_ERROR "expected unsat exit 20 under {1,2,3}, got '${rc}'\n${out}")
+endif()
+if(NOT out MATCHES "s UNSATISFIABLE\nv ([-0-9 ]+) 0")
+  message(FATAL_ERROR "no core line after the unsat verdict:\n${out}")
+endif()
+string(STRIP "${CMAKE_MATCH_1}" core)
+separate_arguments(core_lits UNIX_COMMAND "${core}")
+list(LENGTH core_lits core_size)
+if(NOT core_size EQUAL 2 OR NOT "1" IN_LIST core_lits OR NOT "2" IN_LIST core_lits)
+  message(FATAL_ERROR "expected core {1, 2}, got {${core}}:\n${out}")
+endif()
+
+# Core sufficiency: the extracted subset alone must still force the conflict.
+set(core_args "")
+foreach(lit IN LISTS core_lits)
+  list(APPEND core_args --assume ${lit})
+endforeach()
+execute_process(
+  COMMAND ${SAT_SOLVE} ${core_args} ${CNF}
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 20)
+  message(FATAL_ERROR "extracted core {${core}} is not unsat (exit '${rc}'):\n${out}")
+endif()
+
+# Core minimality (negative): every proper subset must be satisfiable.
+foreach(dropped IN LISTS core_lits)
+  set(subset_args "")
+  foreach(lit IN LISTS core_lits)
+    if(NOT lit STREQUAL dropped)
+      list(APPEND subset_args --assume ${lit})
+    endif()
+  endforeach()
+  execute_process(
+    COMMAND ${SAT_SOLVE} ${subset_args} ${CNF}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out)
+  if(NOT rc EQUAL 10)
+    message(FATAL_ERROR "core minus ${dropped} should be sat, got exit '${rc}':\n${out}")
+  endif()
+endforeach()

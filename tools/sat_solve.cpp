@@ -17,10 +17,12 @@
 //
 // Exit codes follow the SAT-competition convention: 10 sat, 20 unsat,
 // 0 unknown, 1 usage/parse error.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <limits>
@@ -41,14 +43,17 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--proof FILE | --binary-proof FILE] [--timeout-ms N] [--no-simplify] "
-               "[--portfolio N] <dimacs.cnf>\n"
+               "[--portfolio N] [--assume LIT]... <dimacs.cnf>\n"
                "  --proof FILE         stream a text DRAT proof to FILE\n"
                "  --binary-proof FILE  stream a binary DRAT proof to FILE\n"
                "  --timeout-ms N       give up after N ms with 's UNKNOWN' (exit 0)\n"
                "  --no-simplify        disable inprocessing (subsumption/BVE/probing)\n"
                "  --portfolio N        race N diversified clause-sharing workers;\n"
                "                       with --proof, forces --no-simplify and merges\n"
-               "                       all workers' derivations into one DRAT log\n",
+               "                       all workers' derivations into one DRAT log\n"
+               "  --assume LIT         solve under the DIMACS literal (repeatable);\n"
+               "                       an unsat verdict then also prints the subset of\n"
+               "                       assumptions used ('v LIT... 0' core line)\n",
                argv0);
   return 1;
 }
@@ -91,6 +96,7 @@ int main(int argc, char** argv) {
   bool simplify = true;
   long long timeout_ms = 0;
   unsigned portfolio = 1;
+  std::vector<int> assume_ints;
   const auto next_token = [&](int& i) { return i + 1 < argc ? argv[++i] : nullptr; };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--proof") == 0 || std::strcmp(argv[i], "--binary-proof") == 0) {
@@ -105,6 +111,12 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--portfolio") == 0) {
       portfolio =
           static_cast<unsigned>(scada::util::cli_long_in("--portfolio", next_token(i), 1, 64));
+    } else if (std::strcmp(argv[i], "--assume") == 0) {
+      const long long lit = scada::util::cli_long_in(
+          "--assume", next_token(i), std::numeric_limits<std::int32_t>::min() / 2,
+          std::numeric_limits<std::int32_t>::max() / 2);
+      if (lit == 0) return usage(argv[0]);
+      assume_ints.push_back(static_cast<int>(lit));
     } else if (cnf_path == nullptr) {
       cnf_path = argv[i];
     } else {
@@ -135,8 +147,13 @@ int main(int argc, char** argv) {
       solver.set_proof(proof_writer.get());
     }
 
-    solver.ensure_var(instance.num_vars);
+    int max_var = instance.num_vars;
+    for (const int a : assume_ints) max_var = std::max(max_var, std::abs(a));
+    solver.ensure_var(max_var);
     for (const Clause& clause : instance.clauses) solver.add_clause(clause);
+    std::vector<Lit> assumptions;
+    assumptions.reserve(assume_ints.size());
+    for (const int a : assume_ints) assumptions.emplace_back(std::abs(a), a < 0);
 
     std::atomic<bool> interrupt{false};
     std::unique_ptr<Watchdog> watchdog;
@@ -146,7 +163,7 @@ int main(int argc, char** argv) {
     }
 
     scada::util::WallTimer timer;
-    const SolveResult result = solver.solve();
+    const SolveResult result = solver.solve(assumptions);
     watchdog.reset();  // disarm before reporting
     const CdclStats& stats = solver.winner_stats();
     std::printf("c vars=%d clauses=%zu time=%.3fs conflicts=%llu decisions=%llu\n",
@@ -173,6 +190,16 @@ int main(int argc, char** argv) {
       }
       case SolveResult::Unsat:
         std::printf("s UNSATISFIABLE\n");
+        if (!assumptions.empty()) {
+          // The assumption core: a subset of --assume literals that, with the
+          // clauses, already forces the conflict. Empty (a bare "v 0") means
+          // the instance is unsat regardless of the assumptions.
+          std::printf("v");
+          for (const Lit l : solver.unsat_core()) {
+            std::printf(" %d", l.negated() ? -l.var() : l.var());
+          }
+          std::printf(" 0\n");
+        }
         return 20;
       case SolveResult::Unknown:
         std::printf("s UNKNOWN\n");

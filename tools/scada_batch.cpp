@@ -60,6 +60,8 @@ struct BatchConfig {
   double check_hit_rate = 0.9;
   double check_speedup = 5.0;
   std::uint64_t seed = 42;
+  /// Mix optimization ops (security-index / harden) into the batch.
+  bool opt_mix = false;
   /// Client mode: non-empty host or unix path = replay over a socket.
   service::net::Endpoint connect;
   bool connect_mode = false;
@@ -92,8 +94,20 @@ std::vector<std::string> make_batch(const BatchConfig& config) {
         properties[rng.index(properties.size())];
     const auto& spec = specs[rng.index(specs.size())];
     std::ostringstream line;
-    line << "{\"id\":" << i << ",\"op\":\"verify\",\"scenario\":" << scenario
-         << ",\"property\":\"" << property << "\",\"spec\":" << spec << "}";
+    // With --opt-mix roughly 1-in-8 requests asks for a security index and
+    // 1-in-16 for a minimum-cost hardening, restricted to the (small) case
+    // study topologies so the optimization loops stay cheap.
+    const std::size_t roll = config.opt_mix ? rng.index(16) : 16;
+    if (roll < 2 && scenario.find("synth") == std::string::npos) {
+      line << "{\"id\":" << i << ",\"op\":\"security-index\",\"scenario\":" << scenario
+           << ",\"property\":\"" << property << "\"}";
+    } else if (roll == 2 && scenario.find("synth") == std::string::npos) {
+      line << "{\"id\":" << i << ",\"op\":\"harden\",\"scenario\":" << scenario
+           << R"(,"property":"secured_observability","spec":{"k":1}})";
+    } else {
+      line << "{\"id\":" << i << ",\"op\":\"verify\",\"scenario\":" << scenario
+           << ",\"property\":\"" << property << "\",\"spec\":" << spec << "}";
+    }
     lines.push_back(line.str());
   }
   return lines;
@@ -220,7 +234,7 @@ int usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [--requests N] [--passes N] [--threads N] [--seed N]\n"
-      "          [--emit] [--check] [--min-hit-rate X] [--min-speedup X]\n"
+      "          [--emit] [--check] [--opt-mix] [--min-hit-rate X] [--min-speedup X]\n"
       "          [--connect HOST:PORT | --connect-unix PATH] [--shutdown-server]\n"
       "          [--retry-attempts N] [--retry-initial-ms N] [--retry-max-ms N]\n"
       "          [--read-timeout-ms X]\n"
@@ -282,6 +296,8 @@ int main(int argc, char** argv) {
       config.read_timeout_ms = util::cli_double("--read-timeout-ms", num_arg());
     } else if (std::strcmp(argv[i], "--shutdown-server") == 0) {
       config.shutdown_server = true;
+    } else if (std::strcmp(argv[i], "--opt-mix") == 0) {
+      config.opt_mix = true;
     } else if (std::strcmp(argv[i], "--emit") == 0) {
       config.emit = true;
     } else if (std::strcmp(argv[i], "--check") == 0) {

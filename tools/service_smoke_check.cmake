@@ -16,6 +16,7 @@ file(WRITE ${requests}
 {\"id\":\"b2\",\"op\":\"barrier\"}
 {\"id\":3,\"op\":\"verify\",\"scenario\":{\"builtin\":\"case_study_fig3\"},\"property\":\"observability\",\"spec\":{\"k1\":1,\"k2\":1}}
 {\"id\":4,\"op\":\"enumerate\",\"scenario\":{\"synth\":{\"buses\":30,\"seed\":7}},\"property\":\"observability\",\"spec\":{\"k\":2},\"max_vectors\":256,\"deadline_ms\":0.01}
+{\"id\":5,\"op\":\"security-index\",\"scenario\":{\"builtin\":\"case_study_fig3\"},\"property\":\"secured_observability\"}
 {\"id\":\"b3\",\"op\":\"barrier\"}
 {\"id\":\"s\",\"op\":\"stats\"}
 ")
@@ -54,7 +55,19 @@ endif()
 if(NOT out MATCHES "\"id\":4,[^\n]*\"diagnostics\":")
   message(FATAL_ERROR "request 4: expected timeout diagnostics")
 endif()
-# The stats snapshot must report at least one cache hit.
+# The optimization op answers with the Fig. 3 security index (2: the
+# cheapest attack on secured observability fails two field devices).
+if(NOT out MATCHES "\"id\":5,\"ok\":true,[^\n]*\"security_index\":{\"attackable\":true,\"index\":2,")
+  message(FATAL_ERROR "request 5: expected a security index of 2")
+endif()
+# The stats snapshot must report at least one cache hit…
 if(NOT out MATCHES "\"op\":\"stats\",\"cache\":{\"hits\":[1-9]")
   message(FATAL_ERROR "stats: expected a non-zero cache hit count")
+endif()
+# …and surface the optimization metrics fed by the security-index request.
+if(NOT out MATCHES "\"opt.solve_ms\":{\"count\":[1-9]")
+  message(FATAL_ERROR "stats: expected opt.solve_ms histogram samples")
+endif()
+if(NOT out MATCHES "\"opt.maxsat_bound_tightenings\":[1-9]")
+  message(FATAL_ERROR "stats: expected non-zero opt.maxsat_bound_tightenings")
 endif()
