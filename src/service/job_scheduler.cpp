@@ -225,6 +225,11 @@ void JobScheduler::execute(const StatePtr& job, JobOutcome& out) {
       // Fleet-wide inprocessing effectiveness, scraped alongside the
       // scheduler counters (how much of the Tseitin output BVE removes).
       const smt::SessionStats& ss = out.analysis.verdict.solver_stats;
+      // Propagation hot-loop effectiveness: inspections per propagation is
+      // the true work rate, blocker hits the cache-skip fraction.
+      metrics_->counter("smt.propagations").inc(ss.propagations);
+      metrics_->counter("smt.watch_inspections").inc(ss.watch_inspections);
+      metrics_->counter("smt.blocker_hits").inc(ss.blocker_hits);
       metrics_->counter("solver.vars_eliminated").inc(ss.vars_eliminated);
       metrics_->counter("solver.clauses_subsumed").inc(ss.clauses_subsumed);
       metrics_->counter("solver.clauses_strengthened").inc(ss.clauses_strengthened);

@@ -4,13 +4,14 @@
 #include <cassert>
 
 #include "scada/smt/drat.hpp"
+#include "scada/smt/simplify.hpp"
 #include "scada/util/error.hpp"
 
 namespace scada::smt {
 
 CdclSolver::CdclSolver(CdclConfig config) : config_(config), branch_rng_(config.branch_seed) {
   // Var 0 is reserved; allocate its slots so indexing by Var is direct.
-  assign_.push_back(LBool::Undef);
+  assign_.resize(2, LBool::Undef);  // two slots per var: one per literal
   level_.push_back(0);
   reason_.push_back(kNoReason);
   saved_phase_.push_back(config_.default_phase);
@@ -25,7 +26,8 @@ CdclSolver::CdclSolver(CdclConfig config) : config_(config), branch_rng_(config.
 }
 
 Var CdclSolver::new_var() {
-  const Var v = static_cast<Var>(assign_.size());
+  const Var v = static_cast<Var>(assign_.size() / 2);
+  assign_.push_back(LBool::Undef);
   assign_.push_back(LBool::Undef);
   level_.push_back(0);
   reason_.push_back(kNoReason);
@@ -46,8 +48,8 @@ void CdclSolver::ensure_var(Var v) {
 }
 
 void CdclSolver::attach_clause(ClauseRef cref) {
-  const auto& lits = clauses_[cref].lits;
-  assert(lits.size() >= 2);
+  const Lit* lits = arena_.lits(cref);
+  assert(arena_.size(cref) >= 2);
   watches(~lits[0]).push_back(Watcher{cref, lits[1]});
   watches(~lits[1]).push_back(Watcher{cref, lits[0]});
 }
@@ -57,19 +59,32 @@ bool CdclSolver::add_clause(std::span<const Lit> lits_in) {
   // New clauses are added at decision level 0 only.
   cancel_until(0);
 
-  // Normalize: drop duplicates and false literals, detect tautology/satisfied.
-  std::vector<Lit> lits(lits_in.begin(), lits_in.end());
-  for (const Lit l : lits) {
+  // Incremental callers may mention variables a previous simplify pass
+  // eliminated (hash-consed Tseitin literals reused in later assertions);
+  // bring their defining clauses back before this clause lands.
+  bool needs_restore = false;
+  for (const Lit l : lits_in) {
     ensure_var(l.var());
-    // Incremental callers may mention variables a previous simplify pass
-    // eliminated (hash-consed Tseitin literals reused in later assertions);
-    // bring their defining clauses back before this clause lands.
-    if (eliminated_[static_cast<std::size_t>(l.var())]) restore_variable(l.var());
+    needs_restore |= eliminated_[static_cast<std::size_t>(l.var())];
   }
+  std::vector<Lit>& lits = add_lits_scratch_;
+  if (needs_restore) {
+    // Rare path on an owned copy: restoring re-enters add_clause, which
+    // reuses the scratch buffers and may pop the witness stack the caller's
+    // span points into.
+    const std::vector<Lit> copy(lits_in.begin(), lits_in.end());
+    for (const Lit l : copy) {
+      if (eliminated_[static_cast<std::size_t>(l.var())]) restore_variable(l.var());
+    }
+    lits.assign(copy.begin(), copy.end());
+  } else {
+    lits.assign(lits_in.begin(), lits_in.end());
+  }
+  // Normalize: drop duplicates and false literals, detect tautology/satisfied.
   std::sort(lits.begin(), lits.end(),
             [](Lit a, Lit b) { return a.code < b.code; });
-  std::vector<Lit> normalized;
-  normalized.reserve(lits.size());
+  std::vector<Lit>& normalized = add_norm_scratch_;
+  normalized.clear();
   for (std::size_t i = 0; i < lits.size(); ++i) {
     const Lit l = lits[i];
     if (i + 1 < lits.size() && lits[i + 1].code == (l.code ^ 1)) return true;  // l and ~l
@@ -90,9 +105,13 @@ bool CdclSolver::add_clause(std::span<const Lit> lits_in) {
     return !unsat_;
   }
 
-  const ClauseRef cref = alloc_clause(std::move(normalized), false);
+  const ClauseRef cref = alloc_clause(normalized, false);
   ++num_problem_clauses_;
   attach_clause(cref);
+  // Feed the incremental inprocessor: only these neighborhoods need a
+  // fresh subsumption/BVE look next pass.
+  fresh_clause_vars_.reserve(fresh_clause_vars_.size() + normalized.size());
+  for (const Lit l : normalized) fresh_clause_vars_.push_back(l.var());
   return true;
 }
 
@@ -149,7 +168,7 @@ void CdclSolver::restore_variable(Var v) {
     }
     (void)add_clause(wc.lits);
   }
-  if (assign_[vi] == LBool::Undef && !heap_contains(v)) heap_insert(v);
+  if (var_value(v) == LBool::Undef && !heap_contains(v)) heap_insert(v);
 }
 
 void CdclSolver::reconstruct_model() {
@@ -183,76 +202,97 @@ bool CdclSolver::should_simplify() const noexcept {
          clauses_at_last_simplify_ + clauses_at_last_simplify_ / 4 + 100;
 }
 
-CdclSolver::ClauseRef CdclSolver::alloc_clause(std::vector<Lit> lits, bool learned) {
-  if (!free_slots_.empty()) {
-    // Reuse a slot vacated by reduce_learned_db; all watchers of the old
-    // clause were purged there, so nothing still references the ref.
-    const ClauseRef cref = free_slots_.back();
-    free_slots_.pop_back();
-    clauses_[cref] = InternalClause{std::move(lits), 0.0, learned, false};
-    return cref;
-  }
-  const auto cref = static_cast<ClauseRef>(clauses_.size());
-  clauses_.push_back(InternalClause{std::move(lits), 0.0, learned, false});
+CdclSolver::ClauseRef CdclSolver::alloc_clause(std::span<const Lit> lits, bool learned) {
+  const ClauseRef cref = arena_.alloc(lits, learned);
+  (learned ? learned_refs_ : problem_refs_).push_back(cref);
   return cref;
 }
 
 void CdclSolver::enqueue(Lit l, ClauseRef reason) {
   assert(value(l) == LBool::Undef);
   const auto v = static_cast<std::size_t>(l.var());
-  assign_[v] = l.negated() ? LBool::False : LBool::True;
+  assign_[static_cast<std::size_t>(l.code)] = LBool::True;
+  assign_[static_cast<std::size_t>(l.code ^ 1)] = LBool::False;
   level_[v] = decision_level();
   reason_[v] = reason;
   trail_.push_back(l);
 }
 
 CdclSolver::ClauseRef CdclSolver::propagate() {
+  // Counters accumulate in locals and flush on every exit: the compiler
+  // cannot keep `stats_` fields in registers across enqueue()/push_back()
+  // calls it cannot see through, and the inner loop bumps them per watcher.
+  std::uint64_t propagations = 0;
+  std::uint64_t inspections = 0;
+  std::uint64_t blocker_hits = 0;
+  const auto flush = [&] {
+    stats_.propagations += propagations;
+    stats_.watch_inspections += inspections;
+    stats_.blocker_hits += blocker_hits;
+  };
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
-    ++stats_.propagations;
+    ++propagations;
     auto& ws = watches(p);
-    std::size_t keep = 0;
-    for (std::size_t i = 0; i < ws.size(); ++i) {
-      const Watcher w = ws[i];
+    // In-place compaction with read/write cursors. No watcher here can name
+    // a freed clause (every death site detaches its watchers eagerly), and
+    // the only list that grows during the scan is watches(~lits[1]) for a
+    // non-false lits[1] — never watches(p), since ~p is false — so raw
+    // pointers into ws stay valid throughout.
+    Watcher* read = ws.data();
+    Watcher* write = read;
+    Watcher* const end = read + ws.size();
+    const Lit not_p = ~p;
+    while (read != end) {
+      ++inspections;
+      const Watcher w = *read++;
+      // Start the next watcher's clause line early: by the time its blocker
+      // check misses, the literals are usually in flight. lits() is pure
+      // pointer arithmetic, so this touches nothing when read == end.
+      if (read != end) __builtin_prefetch(arena_.lits(read->cref));
       if (value(w.blocker) == LBool::True) {
-        ws[keep++] = w;
+        ++blocker_hits;
+        *write++ = w;
         continue;
       }
-      InternalClause& c = clauses_[w.cref];
-      if (c.removed) continue;  // lazily drop watchers of deleted clauses
-      auto& lits = c.lits;
+      Lit* const lits = arena_.lits(w.cref);
       // Ensure the falsified literal (~p) sits at index 1.
-      const Lit not_p = ~p;
       if (lits[0] == not_p) std::swap(lits[0], lits[1]);
       assert(lits[1] == not_p);
-      if (value(lits[0]) == LBool::True) {
-        ws[keep++] = Watcher{w.cref, lits[0]};
+      const Lit first = lits[0];
+      // The blocker check above already ruled True out when first == blocker.
+      if (first != w.blocker && value(first) == LBool::True) {
+        *write++ = Watcher{w.cref, first};
         continue;
       }
       // Find a new literal to watch.
+      const std::uint32_t size = arena_.size(w.cref);
       bool moved = false;
-      for (std::size_t j = 2; j < lits.size(); ++j) {
+      for (std::uint32_t j = 2; j < size; ++j) {
         if (value(lits[j]) != LBool::False) {
           std::swap(lits[1], lits[j]);
-          watches(~lits[1]).push_back(Watcher{w.cref, lits[0]});
+          watches(~lits[1]).push_back(Watcher{w.cref, first});
           moved = true;
           break;
         }
       }
       if (moved) continue;
-      // Clause is unit or conflicting.
-      if (value(lits[0]) == LBool::False) {
-        // Conflict: restore remaining watchers and report.
-        for (std::size_t j = i; j < ws.size(); ++j) ws[keep++] = ws[j];
-        ws.resize(keep);
+      // Clause is unit or conflicting; either way this watcher stays.
+      *write++ = w;
+      if (value(first) == LBool::False) {
+        // Conflict: the compaction cursors have already kept everything up to
+        // here, so just slide the unread tail down and report.
+        while (read != end) *write++ = *read++;
+        ws.resize(static_cast<std::size_t>(write - ws.data()));
         propagate_head_ = trail_.size();
+        flush();
         return w.cref;
       }
-      ws[keep++] = w;
-      enqueue(lits[0], w.cref);
+      enqueue(first, w.cref);
     }
-    ws.resize(keep);
+    ws.resize(static_cast<std::size_t>(write - ws.data()));
   }
+  flush();
   return kNoReason;
 }
 
@@ -260,10 +300,12 @@ void CdclSolver::cancel_until(std::uint32_t target_level) {
   if (decision_level() <= target_level) return;
   const std::size_t bound = trail_lim_[target_level];
   for (std::size_t i = trail_.size(); i > bound; --i) {
-    const Var v = trail_[i - 1].var();
+    const Lit l = trail_[i - 1];
+    const Var v = l.var();
     const auto vi = static_cast<std::size_t>(v);
-    saved_phase_[vi] = (assign_[vi] == LBool::True);
-    assign_[vi] = LBool::Undef;
+    saved_phase_[vi] = !l.negated();  // the trail literal was made true
+    assign_[static_cast<std::size_t>(l.code)] = LBool::Undef;
+    assign_[static_cast<std::size_t>(l.code ^ 1)] = LBool::Undef;
     reason_[vi] = kNoReason;
     if (!heap_contains(v)) heap_insert(v);
   }
@@ -285,9 +327,8 @@ void CdclSolver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
 
   for (;;) {
     assert(reason_ref != kNoReason);
-    InternalClause& c = clauses_[reason_ref];
-    if (c.learned) bump_clause(c);
-    for (const Lit q : c.lits) {
+    if (arena_.learned(reason_ref)) bump_clause(reason_ref);
+    for (const Lit q : arena_.clause(reason_ref)) {
       if (have_p && q == p) continue;
       const auto qv = static_cast<std::size_t>(q.var());
       if (seen_[qv] || level_[qv] == 0) continue;
@@ -313,8 +354,8 @@ void CdclSolver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
 
   // Remember every var marked in this round; minimization may drop literals
   // from `learned`, but their seen_ marks must still be cleared at the end.
-  std::vector<Var> to_clear;
-  to_clear.reserve(learned.size());
+  std::vector<Var>& to_clear = analyze_to_clear_;
+  to_clear.clear();
   for (std::size_t i = 1; i < learned.size(); ++i) to_clear.push_back(learned[i].var());
 
   // Learned-clause minimization: drop literals whose negation is implied by
@@ -356,7 +397,8 @@ bool CdclSolver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   // DFS through reasons; all antecedents must be marked or themselves redundant.
   analyze_stack_.clear();
   analyze_stack_.push_back(l);
-  std::vector<Var> marked;  // vars we tentatively marked during this check
+  std::vector<Var>& marked = redundant_marked_;  // tentative marks this check
+  marked.clear();
 
   while (!analyze_stack_.empty()) {
     const Lit cur = analyze_stack_.back();
@@ -366,7 +408,7 @@ bool CdclSolver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
       for (const Var v : marked) seen_[static_cast<std::size_t>(v)] = false;
       return false;
     }
-    for (const Lit q : clauses_[r].lits) {
+    for (const Lit q : arena_.clause(r)) {
       const auto qv = static_cast<std::size_t>(q.var());
       if (q.var() == cur.var() || seen_[qv] || level_[qv] == 0) continue;
       // A literal from a level absent from the clause can never be redundant.
@@ -407,7 +449,7 @@ void CdclSolver::analyze_final(Lit failed) {
       // only start after the whole assumption prefix is placed).
       core_.push_back(trail_[i]);
     } else {
-      for (const Lit q : clauses_[r].lits) {
+      for (const Lit q : arena_.clause(r)) {
         const auto qv = static_cast<std::size_t>(q.var());
         if (qv != v && level_[qv] > 0) seen_[qv] = true;
       }
@@ -430,10 +472,13 @@ void CdclSolver::bump_var(Var v) {
 
 void CdclSolver::decay_var_activity() { var_inc_ /= config_.var_decay; }
 
-void CdclSolver::bump_clause(InternalClause& c) {
-  c.activity += clause_inc_;
-  if (c.activity > 1e20) {
-    for (const ClauseRef r : learned_refs_) clauses_[r].activity *= 1e-20;
+void CdclSolver::bump_clause(ClauseRef cref) {
+  const double bumped = arena_.activity(cref) + clause_inc_;
+  arena_.set_activity(cref, bumped);
+  if (bumped > 1e20) {
+    for (const ClauseRef r : learned_refs_) {
+      arena_.set_activity(r, arena_.activity(r) * 1e-20);
+    }
     clause_inc_ *= 1e-20;
   }
 }
@@ -452,9 +497,17 @@ Lit CdclSolver::pick_branch_literal() {
       return branch_rng_;
     };
     if (static_cast<double>(draw() >> 11) * 0x1.0p-53 < config_.random_branch_freq) {
-      const Var v = heap_[draw() % heap_.size()];
+      // Unbiased bounded draw: 2^64 mod n values at the bottom of the stream
+      // would overrepresent the first slots under a plain modulo, so redraw
+      // while the sample falls in that remainder band (rejection sampling;
+      // for any realistic heap size the first draw is accepted).
+      const std::uint64_t n = heap_.size();
+      const std::uint64_t reject_below = (0 - n) % n;  // == 2^64 mod n
+      std::uint64_t sample = draw();
+      while (sample < reject_below) sample = draw();
+      const Var v = heap_[sample % n];
       const auto vi = static_cast<std::size_t>(v);
-      if (assign_[vi] == LBool::Undef && !eliminated_[vi]) {
+      if (var_value(v) == LBool::Undef && !eliminated_[vi]) {
         return Lit{v, !saved_phase_[vi]};
       }
     }
@@ -464,7 +517,7 @@ Lit CdclSolver::pick_branch_literal() {
     const auto vi = static_cast<std::size_t>(v);
     // Eliminated variables are lazily dropped here; restore_variable
     // re-inserts them if they come back.
-    if (assign_[vi] == LBool::Undef && !eliminated_[vi]) {
+    if (var_value(v) == LBool::Undef && !eliminated_[vi]) {
       return Lit{v, !saved_phase_[vi]};
     }
   }
@@ -473,42 +526,91 @@ Lit CdclSolver::pick_branch_literal() {
 
 void CdclSolver::reduce_learned_db() {
   std::sort(learned_refs_.begin(), learned_refs_.end(), [this](ClauseRef a, ClauseRef b) {
-    return clauses_[a].activity < clauses_[b].activity;
+    return arena_.activity(a) < arena_.activity(b);
   });
   const std::size_t target = learned_refs_.size() / 2;
-  std::vector<ClauseRef> newly_removed;
-  newly_removed.reserve(target);
+  std::size_t removed = 0;
   std::vector<ClauseRef> kept;
   kept.reserve(learned_refs_.size());
   for (const ClauseRef r : learned_refs_) {
-    InternalClause& c = clauses_[r];
     const bool is_reason = [&] {
-      // A clause currently acting as a reason must stay.
-      const Lit first = c.lits[0];
+      // A clause currently acting as a reason must stay. While a variable is
+      // assigned, its reason clause keeps that variable's literal at index 0
+      // (propagation never swaps a satisfied lits[0]), so one probe suffices.
+      const Lit first = arena_.lits(r)[0];
       const auto v = static_cast<std::size_t>(first.var());
-      return assign_[v] != LBool::Undef && reason_[v] == r;
+      return var_value(first.var()) != LBool::Undef && reason_[v] == r;
     }();
-    if (newly_removed.size() < target && c.lits.size() > 2 && !is_reason) {
-      if (proof_ != nullptr) proof_->delete_clause(c.lits);
-      c.removed = true;
-      c.lits.clear();
-      c.lits.shrink_to_fit();
-      newly_removed.push_back(r);
+    if (removed < target && arena_.size(r) > 2 && !is_reason) {
+      if (proof_ != nullptr) proof_->delete_clause(arena_.clause(r));
+      arena_.free_clause(r);
+      ++removed;
       ++stats_.removed_clauses;
     } else {
       kept.push_back(r);
     }
   }
   learned_refs_ = std::move(kept);
-  // Watcher lists still contain stale entries; propagate() skips them lazily,
-  // and we purge them here to keep the lists tight. Once purged, nothing
-  // references a removed ref, so its arena slot joins the free list and is
-  // reused by later clauses (alloc_clause) — the arena stays bounded by the
-  // peak live clause count instead of growing with every reduction.
+  // Purge the freed clauses' watchers eagerly: propagate() has no stale-ref
+  // branch, so nothing may reference a freed clause once this returns. The
+  // bytes themselves are reclaimed by the compacting GC below once enough
+  // waste has accumulated.
   for (auto& ws : watches_) {
-    std::erase_if(ws, [this](const Watcher& w) { return clauses_[w.cref].removed; });
+    std::erase_if(ws, [this](const Watcher& w) { return arena_.removed(w.cref); });
   }
-  free_slots_.insert(free_slots_.end(), newly_removed.begin(), newly_removed.end());
+  maybe_collect_garbage();
+}
+
+void CdclSolver::maybe_collect_garbage() {
+  // MiniSat's policy shape: compact once a fifth of the buffer is dead.
+  // Cheaper thresholds thrash (each pass copies every live clause); lazier
+  // ones let the working set outgrow the cache right when reduction tried to
+  // shrink it.
+  if (arena_.wasted_words() > 0 && arena_.wasted_words() >= arena_.words() / 5) {
+    garbage_collect();
+  }
+}
+
+void CdclSolver::garbage_collect() {
+  // Drop dead refs from the clause lists, then relocate the survivors in
+  // list order — problem clauses first — so the compacted layout (and with
+  // it every future ref value) is a deterministic function of the live set.
+  std::erase_if(problem_refs_, [this](ClauseRef r) { return arena_.removed(r); });
+  std::erase_if(learned_refs_, [this](ClauseRef r) { return arena_.removed(r); });
+  ClauseArena fresh;
+  fresh.reserve_words(arena_.live_words());
+  for (ClauseRef& r : problem_refs_) r = arena_.relocate(r, fresh);
+  for (ClauseRef& r : learned_refs_) r = arena_.relocate(r, fresh);
+  // Patch the two remaining ref holders through the forwarding stubs. Watcher
+  // list ORDER is untouched — only ref values change — so propagation visits
+  // clauses in the same sequence and the search is unaffected.
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) w.cref = arena_.forwarded(w.cref);
+  }
+  for (const Lit l : trail_) {
+    const auto v = static_cast<std::size_t>(l.var());
+    if (level_[v] == 0) {
+      // Level-0 facts hold unconditionally; nothing reads their reasons (the
+      // analyzers stop at the level-0 boundary), and dropping them here means
+      // a stale ref to a clause vivification freed can never survive a GC.
+      reason_[v] = kNoReason;
+    } else if (reason_[v] != kNoReason) {
+      reason_[v] = arena_.forwarded(reason_[v]);
+    }
+  }
+  arena_.adopt(std::move(fresh));
+  ++stats_.arena_collections;
+}
+
+std::uint32_t CdclSolver::clause_lbd(std::span<const Lit> lits) {
+  // Level-stamp marking: one pass, no sort. Equivalent to sorting the levels
+  // and counting unique values (the property the unit test pins down).
+  lbd_marks_.begin_round();
+  std::uint32_t lbd = 0;
+  for (const Lit l : lits) {
+    if (lbd_marks_.insert(level_[static_cast<std::size_t>(l.var())])) ++lbd;
+  }
+  return lbd;
 }
 
 std::uint32_t CdclSolver::luby(std::uint32_t i) noexcept {
@@ -570,17 +672,11 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
       // respect to the clauses available here, so logging additions in
       // derivation order yields a checkable DRAT trace.
       if (proof_ != nullptr) proof_->add_clause(learned);
+      // LBD uses the pre-backtrack levels, so compute it before cancel_until.
+      const std::uint32_t lbd = clause_lbd(learned);
       // Offer the clause to the portfolio pool strictly AFTER proof logging:
       // an importer may rely on the clause already being in the shared log.
-      // LBD uses the pre-backtrack levels, so compute it before cancel_until.
       if (exchange_ != nullptr) {
-        lbd_scratch_.clear();
-        for (const Lit l : learned) {
-          lbd_scratch_.push_back(level_[static_cast<std::size_t>(l.var())]);
-        }
-        std::sort(lbd_scratch_.begin(), lbd_scratch_.end());
-        const auto lbd = static_cast<std::uint32_t>(
-            std::unique(lbd_scratch_.begin(), lbd_scratch_.end()) - lbd_scratch_.begin());
         ++stats_.clauses_exported;
         exchange_->export_clause(learned, lbd);
       }
@@ -591,10 +687,10 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
         enqueue(learned[0], kNoReason);
       } else {
         const ClauseRef cref = alloc_clause(learned, true);
-        learned_refs_.push_back(cref);
+        arena_.set_lbd(cref, lbd);
         ++stats_.learned_clauses;
         attach_clause(cref);
-        bump_clause(clauses_[cref]);
+        bump_clause(cref);
         enqueue(learned[0], cref);
       }
       decay_var_activity();
@@ -672,8 +768,7 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
       // Complete assignment: record the model, then repair the values of
       // eliminated variables from the witness stack.
       for (Var v = 1; v <= num_vars(); ++v) {
-        model_[static_cast<std::size_t>(v)] =
-            (assign_[static_cast<std::size_t>(v)] == LBool::True);
+        model_[static_cast<std::size_t>(v)] = (var_value(v) == LBool::True);
       }
       reconstruct_model();
       cancel_until(0);
@@ -733,8 +828,7 @@ bool CdclSolver::import_clause(const Clause& clause_in) {
     if (propagate() != kNoReason) mark_unsat();
     return !unsat_;
   }
-  const ClauseRef cref = alloc_clause(std::move(normalized), true);
-  learned_refs_.push_back(cref);
+  const ClauseRef cref = alloc_clause(normalized, true);
   attach_clause(cref);
   return true;
 }

@@ -22,14 +22,37 @@
 #include <atomic>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "scada/smt/clause_arena.hpp"
 #include "scada/smt/types.hpp"
 
 namespace scada::smt {
 
 class DratWriter;
+
+/// O(n) distinct-count over small non-negative keys (decision levels) using
+/// generation-stamped marks — the Glucose LBD computation without the
+/// per-conflict sort+unique. One instance amortizes its stamp array across
+/// all rounds; the 64-bit generation counter never wraps in practice.
+class LevelStampCounter {
+ public:
+  /// Starts a new count; previously inserted keys are forgotten in O(1).
+  void begin_round() noexcept { ++generation_; }
+  /// Returns true iff `key` has not been inserted since begin_round().
+  [[nodiscard]] bool insert(std::uint32_t key) {
+    if (key >= stamp_.size()) stamp_.resize(static_cast<std::size_t>(key) + 1, 0);
+    if (stamp_[key] == generation_) return false;
+    stamp_[key] = generation_;
+    return true;
+  }
+
+ private:
+  std::vector<std::uint64_t> stamp_;  // key -> generation of last insert
+  std::uint64_t generation_ = 0;
+};
 
 struct CdclConfig {
   double var_decay = 0.95;          ///< EVSIDS decay factor
@@ -89,6 +112,14 @@ class ClauseExchange {
 struct CdclStats {
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
+  /// Watcher-list entries examined by propagate() — the true unit of hot-loop
+  /// work (propagations counts trail literals, not inspections).
+  std::uint64_t watch_inspections = 0;
+  /// Inspections short-circuited by a satisfied blocking literal, i.e. the
+  /// fraction of the hot loop that never touched clause memory.
+  std::uint64_t blocker_hits = 0;
+  /// Compacting GC passes over the clause arena.
+  std::uint64_t arena_collections = 0;
   std::uint64_t conflicts = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
@@ -108,9 +139,12 @@ struct CdclStats {
   std::uint64_t clauses_imported = 0;     ///< foreign clauses accepted from the exchange
 };
 
+class Simplifier;
+
 class CdclSolver {
  public:
   explicit CdclSolver(CdclConfig config = {});
+  ~CdclSolver();  // out of line: owns the (forward-declared) Simplifier
 
   /// Allocates the next variable.
   Var new_var();
@@ -118,7 +152,9 @@ class CdclSolver {
   /// Ensures all variables up to and including `v` exist.
   void ensure_var(Var v);
 
-  [[nodiscard]] Var num_vars() const noexcept { return static_cast<Var>(assign_.size()) - 1; }
+  [[nodiscard]] Var num_vars() const noexcept {
+    return static_cast<Var>(assign_.size() / 2) - 1;
+  }
 
   /// Adds a clause (empty clause or conflicting unit makes the instance
   /// permanently unsat). Returns false iff the instance is now known unsat.
@@ -188,36 +224,44 @@ class CdclSolver {
 
   [[nodiscard]] const CdclStats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t num_clauses() const noexcept { return num_problem_clauses_; }
-  /// Size of the clause arena including learned and free-listed slots; stays
-  /// bounded across reductions because removed slots are reused.
-  [[nodiscard]] std::size_t arena_clauses() const noexcept { return clauses_.size(); }
-  [[nodiscard]] std::size_t free_clause_slots() const noexcept { return free_slots_.size(); }
+  /// Current clause-arena footprint (headers + literals, removed-but-not-yet-
+  /// collected clauses included). Stays bounded across reductions because the
+  /// compacting GC reclaims freed clauses once waste crosses its threshold.
+  [[nodiscard]] std::size_t arena_bytes() const noexcept { return arena_.bytes(); }
+  /// Arena bytes awaiting the next GC pass (freed clauses + shrunk tails).
+  [[nodiscard]] std::size_t wasted_arena_bytes() const noexcept {
+    return arena_.wasted_bytes();
+  }
+  /// Lifetime high-water mark of the arena footprint (survives GC swaps).
+  [[nodiscard]] std::size_t peak_arena_bytes() const noexcept {
+    return arena_.peak_bytes();
+  }
 
  private:
   friend class Simplifier;
 
-  using ClauseRef = std::uint32_t;
+  using ClauseRef = ClauseArena::Ref;
   static constexpr ClauseRef kNoReason = std::numeric_limits<ClauseRef>::max();
 
   enum class LBool : std::int8_t { False = 0, True = 1, Undef = 2 };
-
-  struct InternalClause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    bool learned = false;
-    bool removed = false;
-  };
 
   struct Watcher {
     ClauseRef cref;
     Lit blocker;  ///< a literal whose truth lets us skip visiting the clause
   };
 
+
   // --- assignment & trail ---
+  /// Truth values are stored per LITERAL (two slots per variable, indexed by
+  /// Lit::code, complements kept consistent by enqueue/cancel_until), so the
+  /// propagation hot loop reads a value with one branchless load instead of
+  /// a per-variable lookup plus sign fix-up.
   [[nodiscard]] LBool value(Lit l) const noexcept {
-    const LBool v = assign_[static_cast<std::size_t>(l.var())];
-    if (v == LBool::Undef) return LBool::Undef;
-    return (v == LBool::True) != l.negated() ? LBool::True : LBool::False;
+    return assign_[static_cast<std::size_t>(l.code)];
+  }
+  /// Value of the variable itself (its positive literal's slot).
+  [[nodiscard]] LBool var_value(Var v) const noexcept {
+    return assign_[static_cast<std::size_t>(2 * v)];
   }
   void enqueue(Lit l, ClauseRef reason);
   [[nodiscard]] ClauseRef propagate();
@@ -237,11 +281,22 @@ class CdclSolver {
   // --- heuristics ---
   void bump_var(Var v);
   void decay_var_activity();
-  void bump_clause(InternalClause& c);
+  void bump_clause(ClauseRef cref);
   void decay_clause_activity();
   [[nodiscard]] Lit pick_branch_literal();
   void reduce_learned_db();
   [[nodiscard]] static std::uint32_t luby(std::uint32_t i) noexcept;
+  /// LBD (number of distinct decision levels) of a clause on the live trail.
+  [[nodiscard]] std::uint32_t clause_lbd(std::span<const Lit> lits);
+
+  // --- clause-arena garbage collection ---
+  /// Relocates every live clause into a fresh arena and patches all
+  /// outstanding refs (watchers, trail reasons, the problem/learned lists).
+  /// Only callable when those are the sole ref holders — i.e. after watcher
+  /// lists have been purged of freed clauses.
+  void garbage_collect();
+  /// Runs garbage_collect() once waste crosses the collection threshold.
+  void maybe_collect_garbage();
 
   // --- indexed max-heap over variable activity ---
   void heap_insert(Var v);
@@ -280,6 +335,15 @@ class CdclSolver {
   /// (called at restart boundaries, level 0). Returns false iff unsat.
   bool vivify_learned();
   [[nodiscard]] bool should_simplify() const noexcept;
+  /// Lazily constructed by simplify() and kept for the solver's lifetime so
+  /// the pass's occurrence lists and scratch buffers keep their capacity
+  /// across rounds (incremental callers re-simplify often).
+  std::unique_ptr<Simplifier> simplifier_;
+  /// Variables of problem clauses added since the last inprocessing pass.
+  /// The Simplifier seeds its touched-neighborhood flags from this list
+  /// instead of re-flagging every variable, so a pass over a mostly
+  /// unchanged clause database only revisits what actually changed.
+  std::vector<Var> fresh_clause_vars_;
 
   /// Pulls foreign clauses from the attached exchange (decision level 0 only)
   /// and integrates them as learned clauses. Returns false iff the instance
@@ -291,8 +355,9 @@ class CdclSolver {
   [[nodiscard]] bool import_clause(const Clause& clause);
 
   void attach_clause(ClauseRef cref);
-  /// Places a clause in the arena, reusing a free-listed slot when one exists.
-  [[nodiscard]] ClauseRef alloc_clause(std::vector<Lit> lits, bool learned);
+  /// Appends a clause to the arena and registers it in the matching ref list
+  /// (problem_refs_ / learned_refs_ — the lists GC walks to find live data).
+  [[nodiscard]] ClauseRef alloc_clause(std::span<const Lit> lits, bool learned);
   [[nodiscard]] bool interrupted() const noexcept {
     return interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed);
   }
@@ -303,19 +368,19 @@ class CdclSolver {
   CdclConfig config_;
   CdclStats stats_;
 
-  std::vector<InternalClause> clauses_;
+  ClauseArena arena_;
+  std::vector<ClauseRef> problem_refs_;  ///< live + not-yet-collected problem clauses
   std::vector<ClauseRef> learned_refs_;
-  std::vector<ClauseRef> free_slots_;  ///< removed arena slots awaiting reuse
   std::size_t num_problem_clauses_ = 0;
   const std::atomic<bool>* interrupt_ = nullptr;
   DratWriter* proof_ = nullptr;
   ClauseExchange* exchange_ = nullptr;
   std::uint64_t branch_rng_ = 0;        ///< xorshift64 state for random branching
   std::vector<Clause> import_buffer_;   ///< scratch for exchange pulls
-  std::vector<std::uint32_t> lbd_scratch_;  ///< scratch for LBD computation
+  LevelStampCounter lbd_marks_;         ///< O(n) LBD computation state
 
   std::vector<std::vector<Watcher>> watches_;  // indexed by Lit::code
-  std::vector<LBool> assign_;                  // indexed by Var
+  std::vector<LBool> assign_;                  // indexed by Lit::code (2 per var)
   std::vector<std::uint32_t> level_;           // indexed by Var
   std::vector<ClauseRef> reason_;              // indexed by Var
   std::vector<bool> saved_phase_;              // indexed by Var
@@ -330,9 +395,16 @@ class CdclSolver {
   std::vector<bool> model_;  // indexed by Var; snapshot of last Sat assignment
   std::vector<Lit> core_;    // assumption core of the last assumption-relative Unsat
 
-  // scratch buffers for analyze()
+  // scratch buffers for analyze() — members so the conflict loop does no
+  // per-call heap traffic
   std::vector<bool> seen_;
   std::vector<Lit> analyze_stack_;
+  std::vector<Var> analyze_to_clear_;   // vars whose seen_ mark needs clearing
+  std::vector<Var> redundant_marked_;   // literal_redundant's tentative marks
+  // scratch for add_clause() (incremental callers add clauses in bulk);
+  // only valid below the restore_variable re-entry point
+  std::vector<Lit> add_lits_scratch_;
+  std::vector<Lit> add_norm_scratch_;
 
   // --- inprocessing state ---
   std::vector<bool> frozen_;      // indexed by Var; never eliminated

@@ -1,0 +1,171 @@
+// Flat, cache-local clause storage for the CDCL solver.
+//
+// All clauses live in ONE contiguous buffer of 32-bit words; a clause is a
+// packed four-word header followed by its literals inline, addressed by the
+// 32-bit word offset of the header (ClauseArena::Ref). Propagation touches a
+// clause as one linear span — no per-clause std::vector, no pointer chase,
+// no second cache line for the metadata (the MiniSat/Glucose allocator
+// layout, shared code with neither).
+//
+// Header layout (word 0 is the ref target):
+//   word 0   size<<3 | learned(bit 0) | removed(bit 1) | relocated(bit 2)
+//   word 1   LBD — or, once `relocated` is set, the forwarding Ref of the
+//            clause's copy in the destination arena of a GC pass
+//   word 2/3 activity as the lo/hi halves of an IEEE-754 double (bit_cast),
+//            kept at full double width so activity comparisons — and with
+//            them reduce_learned_db's ordering decisions — are bit-identical
+//            to the pre-arena solver
+//
+// The buffer is std::vector<Lit>, not std::vector<uint32_t>: literals are
+// read/written through Lit-typed spans, so storing them as Lit avoids
+// type-punning the payload. Header words are packed into Lit::code via
+// uint32<->int32 casts (well-defined round trip in C++20).
+//
+// Freeing marks the clause removed and counts its words as waste; the bytes
+// are reclaimed by relocating every live clause into a fresh arena
+// (garbage collection, driven by the solver — see CdclSolver::
+// garbage_collect) and patching the references it handed out.
+#pragma once
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "scada/smt/types.hpp"
+
+namespace scada::smt {
+
+class ClauseArena {
+ public:
+  using Ref = std::uint32_t;
+  static constexpr std::size_t kHeaderWords = 4;
+
+  /// Appends a clause; returns the word offset of its header. Activity and
+  /// LBD start at zero. Throws std::length_error if the arena would outgrow
+  /// 32-bit addressing (≈16 GiB of clauses — far beyond any workload here).
+  Ref alloc(std::span<const Lit> lits, bool learned) {
+    const std::size_t base = data_.size();
+    if (base + kHeaderWords + lits.size() > kMaxWords) {
+      throw std::length_error("ClauseArena: clause storage exceeds 32-bit refs");
+    }
+    data_.resize(base + kHeaderWords + lits.size());
+    set_word(base, (static_cast<std::uint32_t>(lits.size()) << 3) | (learned ? 1u : 0u));
+    set_word(base + 1, 0);
+    set_word(base + 2, 0);
+    set_word(base + 3, 0);
+    for (std::size_t i = 0; i < lits.size(); ++i) data_[base + kHeaderWords + i] = lits[i];
+    if (bytes() > peak_bytes_) peak_bytes_ = bytes();
+    return static_cast<Ref>(base);
+  }
+
+  [[nodiscard]] std::uint32_t size(Ref r) const noexcept { return word(r) >> 3; }
+  [[nodiscard]] bool learned(Ref r) const noexcept { return (word(r) & 1u) != 0; }
+  [[nodiscard]] bool removed(Ref r) const noexcept { return (word(r) & 2u) != 0; }
+  [[nodiscard]] bool relocated(Ref r) const noexcept { return (word(r) & 4u) != 0; }
+
+  [[nodiscard]] Lit* lits(Ref r) noexcept { return data_.data() + r + kHeaderWords; }
+  [[nodiscard]] const Lit* lits(Ref r) const noexcept {
+    return data_.data() + r + kHeaderWords;
+  }
+  [[nodiscard]] std::span<Lit> clause(Ref r) noexcept { return {lits(r), size(r)}; }
+  [[nodiscard]] std::span<const Lit> clause(Ref r) const noexcept {
+    return {lits(r), size(r)};
+  }
+
+  [[nodiscard]] std::uint32_t lbd(Ref r) const noexcept {
+    assert(!relocated(r));
+    return word(r + 1);
+  }
+  void set_lbd(Ref r, std::uint32_t lbd) noexcept {
+    assert(!relocated(r));
+    set_word(r + 1, lbd);
+  }
+
+  [[nodiscard]] double activity(Ref r) const noexcept {
+    const std::uint64_t bits =
+        word(r + 2) | (static_cast<std::uint64_t>(word(r + 3)) << 32);
+    return std::bit_cast<double>(bits);
+  }
+  void set_activity(Ref r, double activity) noexcept {
+    const auto bits = std::bit_cast<std::uint64_t>(activity);
+    set_word(r + 2, static_cast<std::uint32_t>(bits));
+    set_word(r + 3, static_cast<std::uint32_t>(bits >> 32));
+  }
+
+  /// Truncates the clause in place (literals must already be arranged by the
+  /// caller); the dropped tail words become waste until the next GC.
+  void shrink(Ref r, std::uint32_t new_size) noexcept {
+    assert(new_size >= 1 && new_size <= size(r));
+    wasted_words_ += size(r) - new_size;
+    set_word(r, (new_size << 3) | (word(r) & 7u));
+  }
+
+  /// Marks the clause removed. The header (and literals) stay readable until
+  /// garbage collection so stale refs can still be identified as dead; the
+  /// whole footprint counts as waste immediately.
+  void free_clause(Ref r) noexcept {
+    assert(!removed(r));
+    wasted_words_ += kHeaderWords + size(r);
+    set_word(r, word(r) | 2u);
+  }
+
+  /// GC: copies the clause into `to` (idempotent — later calls return the
+  /// existing copy) and turns the old header into a forwarding stub.
+  Ref relocate(Ref r, ClauseArena& to) {
+    assert(!removed(r));
+    if (relocated(r)) return forwarded(r);
+    const std::uint32_t saved_lbd = lbd(r);
+    const double saved_activity = activity(r);
+    const Ref nr = to.alloc(clause(r), learned(r));
+    to.set_lbd(nr, saved_lbd);
+    to.set_activity(nr, saved_activity);
+    set_word(r, word(r) | 4u);
+    set_word(r + 1, nr);
+    return nr;
+  }
+  [[nodiscard]] Ref forwarded(Ref r) const noexcept {
+    assert(relocated(r));
+    return word(r + 1);
+  }
+
+  /// Takes over a freshly compacted arena's buffer after a GC pass, keeping
+  /// the lifetime peak across the swap.
+  void adopt(ClauseArena&& fresh) {
+    fresh.peak_bytes_ = peak_bytes_ > fresh.peak_bytes_ ? peak_bytes_ : fresh.peak_bytes_;
+    *this = std::move(fresh);
+  }
+
+  void reserve_words(std::size_t words) { data_.reserve(words); }
+
+  [[nodiscard]] std::size_t words() const noexcept { return data_.size(); }
+  [[nodiscard]] std::size_t live_words() const noexcept { return data_.size() - wasted_words_; }
+  [[nodiscard]] std::size_t wasted_words() const noexcept { return wasted_words_; }
+  [[nodiscard]] std::size_t bytes() const noexcept { return data_.size() * sizeof(Lit); }
+  [[nodiscard]] std::size_t wasted_bytes() const noexcept {
+    return wasted_words_ * sizeof(Lit);
+  }
+  [[nodiscard]] std::size_t peak_bytes() const noexcept { return peak_bytes_; }
+
+ private:
+  // Leave headroom below UINT32_MAX: refs must stay distinguishable from the
+  // solver's kNoReason sentinel and a header must never wrap the offset.
+  static constexpr std::size_t kMaxWords =
+      static_cast<std::size_t>(std::numeric_limits<Ref>::max()) - kHeaderWords;
+
+  [[nodiscard]] std::uint32_t word(std::size_t i) const noexcept {
+    return static_cast<std::uint32_t>(data_[i].code);
+  }
+  void set_word(std::size_t i, std::uint32_t w) noexcept {
+    data_[i].code = static_cast<std::int32_t>(w);
+  }
+
+  std::vector<Lit> data_;
+  std::size_t wasted_words_ = 0;
+  std::size_t peak_bytes_ = 0;
+};
+
+}  // namespace scada::smt

@@ -221,6 +221,11 @@ class PortfolioSolver {
   [[nodiscard]] const CdclStats& winner_stats() const {
     return workers_[static_cast<std::size_t>(winner_ < 0 ? 0 : winner_)]->stats();
   }
+  /// Peak clause-arena footprint of the last winner (CdclSolver::
+  /// peak_arena_bytes of the same worker winner_stats() reports on).
+  [[nodiscard]] std::size_t winner_peak_arena_bytes() const {
+    return workers_[static_cast<std::size_t>(winner_ < 0 ? 0 : winner_)]->peak_arena_bytes();
+  }
   [[nodiscard]] int winner() const noexcept { return winner_; }
 
  private:

@@ -60,6 +60,14 @@ struct SessionStats {
   std::uint64_t conflicts = 0;
   std::uint64_t decisions = 0;
   std::uint64_t propagations = 0;
+  /// Watcher-list entries examined by propagation, and the subset resolved
+  /// by the blocking-literal early exit without touching clause memory
+  /// (CDCL backend; see CdclStats).
+  std::uint64_t watch_inspections = 0;
+  std::uint64_t blocker_hits = 0;
+  /// High-water mark of the backend's clause-arena footprint in bytes
+  /// (CDCL backend; the winning worker under the portfolio).
+  std::uint64_t arena_peak_bytes = 0;
   std::uint64_t restarts = 0;
   std::uint64_t learned_clauses = 0;
   std::uint64_t removed_clauses = 0;

@@ -60,9 +60,8 @@ class Simplifier {
   /// Bounded variable elimination, cheapest variables first. Returns false
   /// iff unsat.
   bool bve_pass(bool& changed);
-  /// Reattaches watchers for all surviving clauses, frees retired arena
-  /// slots, and propagates units found during the pass. Returns false iff
-  /// unsat.
+  /// Reattaches watchers for all surviving clauses and propagates units
+  /// found during the pass. Returns false iff unsat.
   bool rebuild_and_propagate();
   /// Failed-literal probing over the binary implication graph. Returns false
   /// iff unsat.
@@ -86,9 +85,9 @@ class Simplifier {
   void touch(std::span<const Lit> lits);
   /// Allocates a problem clause and registers it in occ/sig (proof addition
   /// already emitted by the caller or emitted here — see implementation).
-  ClauseRef add_problem_clause(std::vector<Lit> lits);
-  /// Marks a clause removed, updates the problem-clause count, optionally
-  /// emits the proof deletion, and queues its arena slot for reuse.
+  ClauseRef add_problem_clause(std::span<const Lit> lits);
+  /// Frees the clause in the arena (its words become GC waste), updates the
+  /// problem-clause count, and optionally emits the proof deletion.
   void remove_clause(ClauseRef r, bool emit_delete);
   /// Enqueues a level-0 fact (no-op when already true). Returns false iff it
   /// contradicts the level-0 assignment (instance unsat).
@@ -97,11 +96,13 @@ class Simplifier {
   CdclSolver& s_;
   std::vector<std::vector<ClauseRef>> occ_;   // Lit::code -> problem clauses
   std::vector<std::vector<ClauseRef>> locc_;  // Lit::code -> learned clauses
-  std::vector<std::uint64_t> sig_;            // ClauseRef -> literal signature
+  std::vector<std::uint64_t> sig_;            // ClauseRef (word offset) -> signature
   std::vector<ClauseRef> problem_;            // active problem clauses
-  std::vector<ClauseRef> freed_;              // retired slots, free-listed at rebuild
   std::vector<char> touched_;                 // Var -> revisit in the next BVE round
   std::vector<char> stouched_;                // Var -> revisit in the next subsumption round
+  bool warm_ = false;  // first pass flags every variable; later passes only changed ones
+  std::vector<Lit> clits_scratch_;            // subsumption_pass: stable copy of C
+  std::vector<ClauseRef> occ_scratch_;        // subsumption_pass: stable copy of occ(~l)
 };
 
 }  // namespace scada::smt

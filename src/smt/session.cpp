@@ -81,6 +81,9 @@ class CdclSessionImpl final : public SessionImpl {
     stats.conflicts = s.conflicts;
     stats.decisions = s.decisions;
     stats.propagations = s.propagations;
+    stats.watch_inspections = s.watch_inspections;
+    stats.blocker_hits = s.blocker_hits;
+    stats.arena_peak_bytes = static_cast<std::uint64_t>(solver_.peak_arena_bytes());
     stats.restarts = s.restarts;
     stats.learned_clauses = s.learned_clauses;
     stats.removed_clauses = s.removed_clauses;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 #include "scada/smt/drat.hpp"
@@ -14,14 +15,14 @@ std::uint64_t lit_bit(Lit l) noexcept {
   return std::uint64_t{1} << (static_cast<std::uint32_t>(l.code) & 63u);
 }
 
-std::uint64_t signature(const std::vector<Lit>& lits) noexcept {
+std::uint64_t signature(std::span<const Lit> lits) noexcept {
   std::uint64_t sig = 0;
   for (const Lit l : lits) sig |= lit_bit(l);
   return sig;
 }
 
 /// a ⊆ b for clauses sorted by Lit::code.
-bool subset(const std::vector<Lit>& a, const std::vector<Lit>& b) {
+bool subset(std::span<const Lit> a, std::span<const Lit> b) {
   std::size_t j = 0;
   for (const Lit l : a) {
     while (j < b.size() && b[j].code < l.code) ++j;
@@ -32,7 +33,7 @@ bool subset(const std::vector<Lit>& a, const std::vector<Lit>& b) {
 }
 
 /// (a \ {skip_a}) ⊆ (b \ {skip_b}) for clauses sorted by Lit::code.
-bool subset_except(const std::vector<Lit>& a, Lit skip_a, const std::vector<Lit>& b,
+bool subset_except(std::span<const Lit> a, Lit skip_a, std::span<const Lit> b,
                    Lit skip_b) {
   std::size_t j = 0;
   for (const Lit l : a) {
@@ -47,15 +48,12 @@ bool subset_except(const std::vector<Lit>& a, Lit skip_a, const std::vector<Lit>
 }  // namespace
 
 void Simplifier::remove_clause(ClauseRef r, bool emit_delete) {
-  auto& c = s_.clauses_[r];
-  if (c.removed) return;
-  if (emit_delete && s_.proof_ != nullptr) s_.proof_->delete_clause(c.lits);
-  if (!c.learned) --s_.num_problem_clauses_;
-  touch(c.lits);  // fewer occurrences may bring neighbors under the BVE budget
-  c.removed = true;
-  c.lits.clear();
-  c.lits.shrink_to_fit();
-  freed_.push_back(r);
+  if (s_.arena_.removed(r)) return;
+  const std::span<const Lit> lits = s_.arena_.clause(r);
+  if (emit_delete && s_.proof_ != nullptr) s_.proof_->delete_clause(lits);
+  if (!s_.arena_.learned(r)) --s_.num_problem_clauses_;
+  touch(lits);  // fewer occurrences may bring neighbors under the BVE budget
+  s_.arena_.free_clause(r);
 }
 
 bool Simplifier::assign_unit(Lit l) {
@@ -73,24 +71,61 @@ bool Simplifier::assign_unit(Lit l) {
 bool Simplifier::collect() {
   for (auto& ws : s_.watches_) ws.clear();
   s_.clear_level0_reasons();
-  occ_.assign(s_.watches_.size(), {});
-  locc_.assign(s_.watches_.size(), {});
-  sig_.assign(s_.clauses_.size(), 0);
+  // Clear-in-place rather than assign({}): the Simplifier is a long-lived
+  // member of the solver, so keeping the inner vectors' capacity turns the
+  // per-pass occurrence-list rebuild into pure writes, no allocator traffic.
+  occ_.resize(s_.watches_.size());
+  for (auto& refs : occ_) refs.clear();
+  locc_.resize(s_.watches_.size());
+  for (auto& refs : locc_) refs.clear();
+  // Signatures are indexed by ref, i.e. by arena word offset — sparse, but
+  // only ~2x the arena footprint and alive for this pass only.
+  sig_.assign(s_.arena_.words(), 0);
   problem_.clear();
-  // Every variable is a BVE candidate in round one; later rounds revisit
-  // only variables whose neighborhood changed.
-  touched_.assign(static_cast<std::size_t>(s_.num_vars()) + 1, 1);
-  stouched_.assign(static_cast<std::size_t>(s_.num_vars()) + 1, 1);
+  // First pass ever: every variable is a candidate. Later passes keep the
+  // flags incremental across passes — a clause pair untouched since the
+  // last pass cannot yield a new subsumption (C ⊆ D forces var(C) ⊆
+  // var(D), so any actionable pair has a flagged participant), and a
+  // variable whose problem neighborhood and level-0 context are unchanged
+  // reproduces last pass's BVE budget verdict. Sources of change between
+  // passes: clauses the solver added (fresh_clause_vars_), clauses the
+  // cleanup below strips or removes (touched here), and leftovers from a
+  // pass that hit the round limit or an interrupt (never cleared).
+  const auto nvars = static_cast<std::size_t>(s_.num_vars()) + 1;
+  if (!warm_) {
+    touched_.assign(nvars, 1);
+    stouched_.assign(nvars, 1);
+    warm_ = true;
+  } else {
+    touched_.resize(nvars, 0);
+    stouched_.resize(nvars, 0);
+    for (const Var v : s_.fresh_clause_vars_) {
+      const auto vi = static_cast<std::size_t>(v);
+      touched_[vi] = 1;
+      stouched_[vi] = 1;
+    }
+  }
+  s_.fresh_clause_vars_.clear();
 
-  for (ClauseRef r = 0; r < s_.clauses_.size(); ++r) {
-    auto& c = s_.clauses_[r];
-    if (c.removed) continue;
+  // The arena is not walkable (freed clauses leave no traversable gap), so
+  // the live set is the solver's ref lists; visit them in ref order — the
+  // arena layout order — matching the old whole-arena sweep.
+  std::erase_if(s_.problem_refs_, [this](ClauseRef r) { return s_.arena_.removed(r); });
+  std::erase_if(s_.learned_refs_, [this](ClauseRef r) { return s_.arena_.removed(r); });
+  std::vector<ClauseRef> live;
+  live.reserve(s_.problem_refs_.size() + s_.learned_refs_.size());
+  live.insert(live.end(), s_.problem_refs_.begin(), s_.problem_refs_.end());
+  live.insert(live.end(), s_.learned_refs_.begin(), s_.learned_refs_.end());
+  std::sort(live.begin(), live.end());
+
+  for (const ClauseRef r : live) {
+    const std::span<Lit> lits = s_.arena_.clause(r);
     // Sorted literals make the subset/resolution merges linear; watchers are
     // detached, so reordering is safe.
-    std::sort(c.lits.begin(), c.lits.end(), [](Lit a, Lit b) { return a.code < b.code; });
+    std::sort(lits.begin(), lits.end(), [](Lit a, Lit b) { return a.code < b.code; });
 
     bool satisfied = false;
-    for (const Lit l : c.lits) {
+    for (const Lit l : lits) {
       if (s_.value(l) == LBool::True) {
         satisfied = true;
         break;
@@ -101,57 +136,63 @@ bool Simplifier::collect() {
       continue;
     }
     std::vector<Lit> kept;
-    kept.reserve(c.lits.size());
-    for (const Lit l : c.lits) {
+    kept.reserve(lits.size());
+    for (const Lit l : lits) {
       if (s_.value(l) != LBool::False) kept.push_back(l);
     }
-    if (kept.size() != c.lits.size()) {
+    if (kept.size() != lits.size()) {
       if (kept.empty()) {
         s_.mark_unsat();
         return false;
       }
+      // The clause shrinks: its neighborhood must be rescanned this pass.
+      touch(lits);
       ++s_.stats_.clauses_strengthened;
       if (s_.proof_ != nullptr) {
         s_.proof_->add_clause(kept);
-        s_.proof_->delete_clause(c.lits);
+        s_.proof_->delete_clause(lits);
       }
-      c.lits = std::move(kept);
+      if (kept.size() == 1) {
+        // Shortened to a unit: it lives on the trail now, not in the arena.
+        const Lit unit = kept[0];
+        remove_clause(r, /*emit_delete=*/false);
+        if (!assign_unit(unit)) return false;
+        continue;
+      }
+      std::copy(kept.begin(), kept.end(), lits.begin());
+      s_.arena_.shrink(r, static_cast<std::uint32_t>(kept.size()));
     }
-    if (c.lits.size() == 1) {
-      // Shortened to a unit: it lives on the trail now, not in the arena.
-      const Lit unit = c.lits[0];
-      remove_clause(r, /*emit_delete=*/false);
-      if (!assign_unit(unit)) return false;
-      continue;
-    }
-    sig_[r] = signature(c.lits);
-    for (const Lit l : c.lits) (c.learned ? locc(l) : occ(l)).push_back(r);
-    if (!c.learned) problem_.push_back(r);
+    const std::span<const Lit> final_lits = s_.arena_.clause(r);
+    sig_[r] = signature(final_lits);
+    const bool learned = s_.arena_.learned(r);
+    for (const Lit l : final_lits) (learned ? locc(l) : occ(l)).push_back(r);
+    if (!learned) problem_.push_back(r);
   }
   return true;
 }
 
 bool Simplifier::strengthen(ClauseRef dr, Lit drop) {
-  auto& d = s_.clauses_[dr];
+  const std::span<Lit> lits = s_.arena_.clause(dr);
   std::vector<Lit> kept;
-  kept.reserve(d.lits.size() - 1);
-  for (const Lit l : d.lits) {
+  kept.reserve(lits.size() - 1);
+  for (const Lit l : lits) {
     if (l != drop) kept.push_back(l);
   }
   ++s_.stats_.clauses_strengthened;
   if (s_.proof_ != nullptr) {
     s_.proof_->add_clause(kept);
-    s_.proof_->delete_clause(d.lits);
+    s_.proof_->delete_clause(lits);
   }
-  std::erase((d.learned ? locc(drop) : occ(drop)), dr);
-  touch(d.lits);
+  std::erase((s_.arena_.learned(dr) ? locc(drop) : occ(drop)), dr);
+  touch(lits);
   if (kept.size() == 1) {
     const Lit unit = kept[0];
     remove_clause(dr, /*emit_delete=*/false);
     return assign_unit(unit);
   }
-  d.lits = std::move(kept);
-  sig_[dr] = signature(d.lits);
+  std::copy(kept.begin(), kept.end(), lits.begin());
+  s_.arena_.shrink(dr, static_cast<std::uint32_t>(kept.size()));
+  sig_[dr] = signature(s_.arena_.clause(dr));
   return true;
 }
 
@@ -162,56 +203,66 @@ bool Simplifier::subsumption_pass(bool& changed) {
   // neighborhoods it changes, which the *next* round must revisit.
   const std::vector<char> active = std::exchange(
       stouched_, std::vector<char>(static_cast<std::size_t>(s_.num_vars()) + 1, 0));
-  const auto is_active = [&active](const std::vector<Lit>& lits) {
+  const auto is_active = [&active](std::span<const Lit> lits) {
     for (const Lit l : lits) {
       if (active[static_cast<std::size_t>(l.var())] != 0) return true;
     }
     return false;
   };
 
-  // Small clauses are the strongest subsumers; visit them first.
-  std::vector<ClauseRef> order;
+  // Small clauses are the strongest subsumers; visit them first. Sizes are
+  // captured once so the sort compares plain integers instead of reloading
+  // two arena headers per comparison. The comparator answers exactly as the
+  // header-loading one did, so the resulting visit order is unchanged.
+  std::vector<std::pair<std::uint32_t, ClauseRef>> order;
   order.reserve(problem_.size());
   for (const ClauseRef r : problem_) {
-    if (!s_.clauses_[r].removed && is_active(s_.clauses_[r].lits)) order.push_back(r);
+    if (!s_.arena_.removed(r) && is_active(s_.arena_.clause(r))) {
+      order.emplace_back(s_.arena_.size(r), r);
+    }
   }
-  std::sort(order.begin(), order.end(), [this](ClauseRef a, ClauseRef b) {
-    return s_.clauses_[a].lits.size() < s_.clauses_[b].lits.size();
-  });
+  std::sort(order.begin(), order.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
 
-  for (const ClauseRef cr : order) {
+  for (const auto& [size_at_sort, cr] : order) {
+    (void)size_at_sort;
     if (s_.interrupted()) return true;
-    const auto& c = s_.clauses_[cr];
-    if (c.removed) continue;
+    if (s_.arena_.removed(cr)) continue;
     const std::uint64_t csig = sig_[cr];
 
     // Forward subsumption: C deletes every D ⊇ C. Scanning the occurrence
     // list of C's rarest literal visits every candidate.
-    Lit rare = c.lits[0];
-    for (const Lit l : c.lits) {
+    const std::span<const Lit> clause_c = s_.arena_.clause(cr);
+    Lit rare = clause_c[0];
+    for (const Lit l : clause_c) {
       if (occ(l).size() < occ(rare).size()) rare = l;
     }
-    for (const ClauseRef dr : std::vector<ClauseRef>(occ(rare))) {
+    // Iterated directly: remove_clause only flags the header and touches
+    // variables, it never edits occurrence lists, so occ(rare) is stable here.
+    for (const ClauseRef dr : occ(rare)) {
       if (dr == cr) continue;
-      const auto& d = s_.clauses_[dr];
-      if (d.removed || d.lits.size() < c.lits.size()) continue;
+      if (s_.arena_.removed(dr) || s_.arena_.size(dr) < clause_c.size()) continue;
       if ((csig & ~sig_[dr]) != 0) continue;
-      if (!subset(c.lits, d.lits)) continue;
+      if (!subset(clause_c, s_.arena_.clause(dr))) continue;
       remove_clause(dr, /*emit_delete=*/true);
       ++s_.stats_.clauses_subsumed;
       changed = true;
     }
 
     // Self-subsuming resolution: when (C \ {l}) ⊆ (D \ {~l}), resolving on l
-    // proves D without ~l — strengthen D in place.
-    const std::vector<Lit> clits = c.lits;  // strengthen() may move vectors
-    for (const Lit l : clits) {
+    // proves D without ~l — strengthen D in place. C's literals are copied
+    // out: strengthen() rewrites clauses in place, and C itself must stay
+    // stable across the scan. Likewise occ(~l) is copied because strengthen()
+    // erases the strengthened clause from exactly that list. Both copies land
+    // in member scratch buffers so the inner loops allocate nothing.
+    clits_scratch_.assign(clause_c.begin(), clause_c.end());
+    for (const Lit l : clits_scratch_) {
       const std::uint64_t base = csig & ~lit_bit(l);
-      for (const ClauseRef dr : std::vector<ClauseRef>(occ(~l))) {
-        const auto& d = s_.clauses_[dr];
-        if (d.removed || d.lits.size() < clits.size()) continue;
+      occ_scratch_.assign(occ(~l).begin(), occ(~l).end());
+      for (const ClauseRef dr : occ_scratch_) {
+        if (s_.arena_.removed(dr) || s_.arena_.size(dr) < clits_scratch_.size()) continue;
         if ((base & ~sig_[dr]) != 0) continue;
-        if (!subset_except(clits, l, d.lits, ~l)) continue;
+        if (!subset_except(clits_scratch_, l, s_.arena_.clause(dr), ~l)) continue;
         if (!strengthen(dr, ~l)) return false;
         changed = true;
       }
@@ -227,7 +278,7 @@ namespace {
 /// no per-pair sort. `emit` receives each surviving literal in code order;
 /// returns false for tautological resolvents (complementary pair).
 template <typename Emit>
-bool merge_resolvent(const std::vector<Lit>& a, const std::vector<Lit>& b, Var v, Emit&& emit) {
+bool merge_resolvent(std::span<const Lit> a, std::span<const Lit> b, Var v, Emit&& emit) {
   std::size_t i = 0;
   std::size_t j = 0;
   std::uint32_t last_code = UINT32_MAX;
@@ -256,8 +307,8 @@ bool merge_resolvent(const std::vector<Lit>& a, const std::vector<Lit>& b, Var v
 }  // namespace
 
 std::optional<std::vector<Lit>> Simplifier::resolve(ClauseRef pr, ClauseRef nr, Var v) const {
-  const auto& a = s_.clauses_[pr].lits;
-  const auto& b = s_.clauses_[nr].lits;
+  const std::span<const Lit> a = s_.arena_.clause(pr);
+  const std::span<const Lit> b = s_.arena_.clause(nr);
   std::vector<Lit> out;
   out.reserve(a.size() + b.size() - 2);
   bool satisfied = false;
@@ -273,7 +324,7 @@ std::optional<std::vector<Lit>> Simplifier::resolve(ClauseRef pr, ClauseRef nr, 
 bool Simplifier::resolvent_survives(ClauseRef pr, ClauseRef nr, Var v) const {
   bool satisfied = false;
   const bool non_taut =
-      merge_resolvent(s_.clauses_[pr].lits, s_.clauses_[nr].lits, v, [&](Lit l) {
+      merge_resolvent(s_.arena_.clause(pr), s_.arena_.clause(nr), v, [&](Lit l) {
         if (s_.value(l) == LBool::True) satisfied = true;
       });
   return non_taut && !satisfied;
@@ -289,28 +340,29 @@ void Simplifier::touch(std::span<const Lit> lits) {
   }
 }
 
-Simplifier::ClauseRef Simplifier::add_problem_clause(std::vector<Lit> lits) {
-  const ClauseRef r = s_.alloc_clause(std::move(lits), /*learned=*/false);
+Simplifier::ClauseRef Simplifier::add_problem_clause(std::span<const Lit> lits) {
+  // May grow the arena: any outstanding clause span is invalid after this
+  // call (callers materialize resolvents before adding them).
+  const ClauseRef r = s_.alloc_clause(lits, /*learned=*/false);
   ++s_.num_problem_clauses_;
   if (sig_.size() <= r) sig_.resize(static_cast<std::size_t>(r) + 1, 0);
-  const auto& c = s_.clauses_[r];
-  sig_[r] = signature(c.lits);
-  for (const Lit l : c.lits) occ(l).push_back(r);
-  touch(c.lits);
+  sig_[r] = signature(lits);
+  for (const Lit l : lits) occ(l).push_back(r);
+  touch(lits);
   problem_.push_back(r);
   return r;
 }
 
 void Simplifier::retire_parent(ClauseRef cr, Lit witness) {
-  auto& c = s_.clauses_[cr];
   // The occ entries stay behind as stale refs: every occ consumer checks the
-  // removed flag, and eager std::erase here is quadratic over a pass. The
-  // slot is not reusable until rebuild_and_propagate hands freed_ back, so a
-  // stale ref can never alias a live clause.
-  if (s_.proof_ != nullptr) s_.proof_->delete_clause(c.lits);
-  touch(c.lits);
-  s_.witness_stack_.push_back(CdclSolver::WitnessClause{witness, std::move(c.lits)});
-  c.lits.clear();
+  // removed flag, and eager std::erase here is quadratic over a pass. Freed
+  // clauses keep their header until the solver's GC runs (after this pass),
+  // so a stale ref can never alias a live clause.
+  const std::span<const Lit> lits = s_.arena_.clause(cr);
+  if (s_.proof_ != nullptr) s_.proof_->delete_clause(lits);
+  touch(lits);
+  s_.witness_stack_.push_back(
+      CdclSolver::WitnessClause{witness, std::vector<Lit>(lits.begin(), lits.end())});
   remove_clause(cr, /*emit_delete=*/false);
 }
 
@@ -319,7 +371,7 @@ bool Simplifier::bve_pass(bool& changed) {
   const auto active_count = [this](Lit l) {
     std::size_t count = 0;
     for (const ClauseRef r : occ(l)) {
-      if (!s_.clauses_[r].removed) ++count;
+      if (!s_.arena_.removed(r)) ++count;
     }
     return count;
   };
@@ -330,7 +382,7 @@ bool Simplifier::bve_pass(bool& changed) {
   for (Var v = 1; v <= n; ++v) {
     const auto vi = static_cast<std::size_t>(v);
     if (touched_[vi] == 0) continue;  // neighborhood unchanged since last try
-    if (s_.frozen_[vi] || s_.eliminated_[vi] || s_.assign_[vi] != LBool::Undef) {
+    if (s_.frozen_[vi] || s_.eliminated_[vi] || s_.var_value(v) != LBool::Undef) {
       touched_[vi] = 0;
       continue;
     }
@@ -350,7 +402,7 @@ bool Simplifier::bve_pass(bool& changed) {
     if (s_.interrupted()) return true;
     const auto vi = static_cast<std::size_t>(v);
     // Units found since ordering may have assigned it.
-    if (s_.eliminated_[vi] || s_.assign_[vi] != LBool::Undef) continue;
+    if (s_.eliminated_[vi] || s_.var_value(v) != LBool::Undef) continue;
     assert(!s_.frozen_[vi]);
 
     const Lit pos{v, false};
@@ -358,10 +410,10 @@ bool Simplifier::bve_pass(bool& changed) {
     std::vector<ClauseRef> ps;
     std::vector<ClauseRef> ns;
     for (const ClauseRef r : occ(pos)) {
-      if (!s_.clauses_[r].removed) ps.push_back(r);
+      if (!s_.arena_.removed(r)) ps.push_back(r);
     }
     for (const ClauseRef r : occ(neg)) {
-      if (!s_.clauses_[r].removed) ns.push_back(r);
+      if (!s_.arena_.removed(r)) ns.push_back(r);
     }
     if (ps.size() + ns.size() > s_.config_.simplify_occ_limit) continue;
 
@@ -406,7 +458,7 @@ bool Simplifier::bve_pass(bool& changed) {
       if (r.size() == 1) {
         if (!assign_unit(r[0])) return false;
       } else {
-        (void)add_problem_clause(std::move(r));
+        (void)add_problem_clause(r);
       }
     }
     // Resolvents first, parents second: with the parents proof-deleted, a
@@ -419,8 +471,7 @@ bool Simplifier::bve_pass(bool& changed) {
     // consumer checks the removed flag.
     for (const Lit l : {pos, neg}) {
       for (const ClauseRef cr : locc(l)) {
-        auto& c = s_.clauses_[cr];
-        if (c.removed) continue;
+        if (s_.arena_.removed(cr)) continue;
         remove_clause(cr, /*emit_delete=*/true);
         ++s_.stats_.removed_clauses;
       }
@@ -430,12 +481,16 @@ bool Simplifier::bve_pass(bool& changed) {
 }
 
 bool Simplifier::rebuild_and_propagate() {
-  std::erase_if(s_.learned_refs_, [this](ClauseRef r) { return s_.clauses_[r].removed; });
-  for (ClauseRef r = 0; r < s_.clauses_.size(); ++r) {
-    if (!s_.clauses_[r].removed) s_.attach_clause(r);
-  }
-  s_.free_slots_.insert(s_.free_slots_.end(), freed_.begin(), freed_.end());
-  freed_.clear();
+  std::erase_if(s_.problem_refs_, [this](ClauseRef r) { return s_.arena_.removed(r); });
+  std::erase_if(s_.learned_refs_, [this](ClauseRef r) { return s_.arena_.removed(r); });
+  // Attach in ref (arena layout) order so watcher-list order — and with it
+  // the propagation visit order — matches the old whole-arena sweep.
+  std::vector<ClauseRef> live;
+  live.reserve(s_.problem_refs_.size() + s_.learned_refs_.size());
+  live.insert(live.end(), s_.problem_refs_.begin(), s_.problem_refs_.end());
+  live.insert(live.end(), s_.learned_refs_.begin(), s_.learned_refs_.end());
+  std::sort(live.begin(), live.end());
+  for (const ClauseRef r : live) s_.attach_clause(r);
   // Re-propagate the whole level-0 trail: units discovered during the pass
   // have not met the rebuilt watcher lists yet.
   s_.propagate_head_ = 0;
@@ -451,9 +506,13 @@ bool Simplifier::probe_pass() {
   // probing when some binary clause contains ~l (so l implies something).
   std::vector<char> is_candidate(s_.watches_.size(), 0);
   std::vector<Lit> probes;
-  for (const auto& c : s_.clauses_) {
-    if (c.removed || c.lits.size() != 2) continue;
-    for (const Lit l : c.lits) {
+  std::vector<ClauseRef> binaries;
+  binaries.insert(binaries.end(), s_.problem_refs_.begin(), s_.problem_refs_.end());
+  binaries.insert(binaries.end(), s_.learned_refs_.begin(), s_.learned_refs_.end());
+  std::sort(binaries.begin(), binaries.end());  // probe in arena layout order
+  for (const ClauseRef r : binaries) {
+    if (s_.arena_.removed(r) || s_.arena_.size(r) != 2) continue;
+    for (const Lit l : s_.arena_.clause(r)) {
       const Lit probe = ~l;
       auto& flag = is_candidate[static_cast<std::size_t>(probe.code)];
       if (flag == 0) {
@@ -507,6 +566,9 @@ bool Simplifier::run() {
 
 // --- CdclSolver entry points (kept here with the rest of the engine) ---
 
+// Out of line: cdcl.hpp only forward-declares Simplifier.
+CdclSolver::~CdclSolver() = default;
+
 bool CdclSolver::simplify() {
   if (unsat_) return false;
   cancel_until(0);
@@ -514,11 +576,16 @@ bool CdclSolver::simplify() {
     mark_unsat();
     return false;
   }
-  Simplifier pass(*this);
-  const bool ok = pass.run();
+  if (simplifier_ == nullptr) simplifier_ = std::make_unique<Simplifier>(*this);
+  const bool ok = simplifier_->run();
   simplified_once_ = true;
   clauses_at_last_simplify_ = num_problem_clauses_;
   ++stats_.simplify_rounds;
+  // The pass freed retired clauses in place; reclaim the bytes now if enough
+  // accumulated. Safe point: the pass's occ/sig structures are never read
+  // again, so watchers, trail reasons, and the ref lists are the only
+  // outstanding refs — exactly what garbage_collect patches.
+  if (ok && !unsat_) maybe_collect_garbage();
   return ok && !unsat_;
 }
 
@@ -532,13 +599,12 @@ bool CdclSolver::vivify_learned() {
   // them pays the most.
   std::vector<ClauseRef> cands;
   for (const ClauseRef r : learned_refs_) {
-    const InternalClause& c = clauses_[r];
-    if (!c.removed && c.lits.size() >= 3) cands.push_back(r);
+    if (!arena_.removed(r) && arena_.size(r) >= 3) cands.push_back(r);
   }
   const std::size_t take = std::min(cands.size(), config_.vivify_max_clauses);
   std::partial_sort(cands.begin(), cands.begin() + static_cast<std::ptrdiff_t>(take),
                     cands.end(), [this](ClauseRef a, ClauseRef b) {
-                      return clauses_[a].activity > clauses_[b].activity;
+                      return arena_.activity(a) > arena_.activity(b);
                     });
   cands.resize(take);
 
@@ -546,15 +612,15 @@ bool CdclSolver::vivify_learned() {
   for (const ClauseRef r : cands) {
     if (unsat_) return false;
     if (interrupted()) break;
-    InternalClause& c = clauses_[r];
-    if (c.removed || c.lits.size() < 3) continue;
+    if (arena_.removed(r) || arena_.size(r) < 3) continue;
 
     // Detach: while its own negation is assumed, the clause must not take
     // part in propagation.
-    std::erase_if(watches(~c.lits[0]), [r](const Watcher& w) { return w.cref == r; });
-    std::erase_if(watches(~c.lits[1]), [r](const Watcher& w) { return w.cref == r; });
+    const Lit* watched = arena_.lits(r);
+    std::erase_if(watches(~watched[0]), [r](const Watcher& w) { return w.cref == r; });
+    std::erase_if(watches(~watched[1]), [r](const Watcher& w) { return w.cref == r; });
 
-    const std::vector<Lit> original = c.lits;
+    const std::vector<Lit> original(arena_.lits(r), arena_.lits(r) + arena_.size(r));
     std::vector<Lit> kept;
     kept.reserve(original.size());
     bool satisfied_at_root = false;
@@ -577,10 +643,7 @@ bool CdclSolver::vivify_learned() {
     cancel_until(0);
 
     const auto drop_clause = [&] {
-      c.removed = true;
-      c.lits.clear();
-      c.lits.shrink_to_fit();
-      free_slots_.push_back(r);
+      arena_.free_clause(r);
       removed_any = true;
     };
 
@@ -623,12 +686,18 @@ bool CdclSolver::vivify_learned() {
       }
       continue;
     }
-    c.lits = std::move(kept);
+    std::copy(kept.begin(), kept.end(), arena_.lits(r));
+    arena_.shrink(r, static_cast<std::uint32_t>(kept.size()));
     attach_clause(r);
   }
   if (removed_any) {
-    std::erase_if(learned_refs_, [this](ClauseRef rr) { return clauses_[rr].removed; });
+    std::erase_if(learned_refs_, [this](ClauseRef rr) { return arena_.removed(rr); });
   }
+  // Unit propagation above left reasons on the level-0 trail that may name
+  // clauses this pass then freed; level-0 facts need no reason, so drop them
+  // all rather than track which survived.
+  clear_level0_reasons();
+  maybe_collect_garbage();
   return !unsat_;
 }
 

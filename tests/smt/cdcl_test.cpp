@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <cstdint>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -294,6 +297,61 @@ TEST(CdclTest, StatsAccumulate) {
   EXPECT_GT(s.stats().propagations + s.stats().decisions, 0u);
 }
 
+/// Reference LBD: the sort+unique distinct-level count the stamp-based
+/// computation replaced. The two must agree on every level profile.
+std::uint32_t lbd_by_sort(std::vector<std::uint32_t> levels) {
+  std::sort(levels.begin(), levels.end());
+  return static_cast<std::uint32_t>(
+      std::unique(levels.begin(), levels.end()) - levels.begin());
+}
+
+std::uint32_t lbd_by_stamps(LevelStampCounter& marks,
+                            std::span<const std::uint32_t> levels) {
+  marks.begin_round();
+  std::uint32_t lbd = 0;
+  for (const std::uint32_t level : levels) {
+    if (marks.insert(level)) ++lbd;
+  }
+  return lbd;
+}
+
+TEST(LevelStampCounterTest, MatchesSortUniqueOnHandBuiltConflicts) {
+  // Level profiles of hand-built conflict clauses: the asserting literal's
+  // level, duplicates from same-level implications, a level-0 unit, gaps.
+  const std::vector<std::vector<std::uint32_t>> profiles = {
+      {0},                       // unit learned at the root
+      {5},                       // single asserting literal
+      {3, 3, 3},                 // all literals from one level
+      {1, 2, 3},                 // all levels distinct
+      {7, 7, 4, 2, 7, 1, 0},     // typical conflict mix, repeats + level 0
+      {12, 1, 12, 1, 12, 1},     // alternating pair
+      {100, 0, 50, 100, 50, 0},  // sparse levels with gaps
+  };
+  const std::vector<std::uint32_t> expected = {1, 1, 1, 3, 5, 2, 3};
+  LevelStampCounter marks;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    EXPECT_EQ(lbd_by_stamps(marks, profiles[i]), expected[i]) << "profile " << i;
+    EXPECT_EQ(lbd_by_stamps(marks, profiles[i]), lbd_by_sort(profiles[i]))
+        << "profile " << i;
+  }
+}
+
+TEST(LevelStampCounterTest, MatchesSortUniqueOnRandomProfiles) {
+  // Reusing ONE counter across rounds is the point of the generation stamps:
+  // earlier rounds must never leak marks into later ones.
+  util::Rng rng(20260808);
+  LevelStampCounter marks;
+  for (int round = 0; round < 500; ++round) {
+    std::vector<std::uint32_t> levels;
+    const std::size_t n = 1 + rng.index(30);
+    const std::uint32_t max_level = 1 + static_cast<std::uint32_t>(rng.index(40));
+    for (std::size_t i = 0; i < n; ++i) {
+      levels.push_back(static_cast<std::uint32_t>(rng.index(max_level)));
+    }
+    ASSERT_EQ(lbd_by_stamps(marks, levels), lbd_by_sort(levels))
+        << "round " << round;
+  }
+}
 
 TEST(CdclTest, AgreesWithZ3OnLargerRandomInstances) {
   // Beyond brute-force reach: 40-variable random 3-SAT near the phase
@@ -344,9 +402,11 @@ void add_pigeonhole(CdclSolver& s, int pigeons, int holes) {
 
 TEST(CdclTest, ArenaStaysBoundedAcrossReductions) {
   // Regression: reduce_learned_db used to tombstone removed clauses without
-  // ever reclaiming their arena slots, so a long-running solve grew the
-  // arena without bound. With the free list, arena size is bounded by
-  // problem clauses + the learned-DB soft limit's high-water mark.
+  // ever reclaiming their storage, so a long-running solve grew the clause
+  // arena without bound. With the compacting GC, waste is capped at the
+  // collection threshold (a fifth of the buffer), so the footprint tracks
+  // the live set — problem clauses + the learned-DB soft limit — not the
+  // total number of clauses ever learned.
   CdclConfig config;
   config.learned_base = 50;     // force frequent reductions
   config.learned_growth = 1.0;  // keep the soft limit fixed
@@ -354,16 +414,21 @@ TEST(CdclTest, ArenaStaysBoundedAcrossReductions) {
   add_pigeonhole(s, 8, 7);  // hard enough to learn thousands of clauses
   EXPECT_EQ(s.solve(), SolveResult::Unsat);
   ASSERT_GT(s.stats().removed_clauses, 100u) << "reduction never triggered";
-  // Without slot reuse the arena would hold every clause ever learned.
-  EXPECT_LT(s.arena_clauses(),
-            s.num_clauses() + s.stats().learned_clauses - s.stats().removed_clauses / 2);
-  EXPECT_EQ(s.arena_clauses() + s.stats().removed_clauses,
-            s.num_clauses() + s.stats().learned_clauses + s.free_clause_slots());
+  ASSERT_GT(s.stats().arena_collections, 0u) << "GC never triggered";
+  // Every clause ever learned would dwarf the live set; the peak footprint
+  // must stay within live + the GC's waste allowance (1/5 of the buffer,
+  // i.e. peak <= live * 5/4, with slack for the in-flight learned clauses
+  // between crossing the threshold and the reduce that collects).
+  const std::size_t total_words =
+      (s.num_clauses() + s.stats().learned_clauses) * (4 + 8);  // header + avg lits lower bound
+  EXPECT_LT(s.peak_arena_bytes(), total_words * sizeof(std::uint32_t));
+  // After the final reduce+GC, waste sits below the collection threshold.
+  EXPECT_LE(s.wasted_arena_bytes(), s.arena_bytes() / 5 + 64);
 }
 
-TEST(CdclTest, FreedSlotsAreReusedCorrectly) {
-  // After heavy reduction traffic the solver must still be sound: verify a
-  // mixed sat/unsat sequence on the same instance via assumptions.
+TEST(CdclTest, SolverStaysSoundAcrossArenaCompactions) {
+  // After heavy reduction + GC traffic the solver must still be sound:
+  // verify a mixed sat/unsat sequence on the same instance via assumptions.
   CdclConfig config;
   config.learned_base = 30;
   config.learned_growth = 1.0;

@@ -71,3 +71,14 @@ endif()
 if(NOT out MATCHES "\"opt.maxsat_bound_tightenings\":[1-9]")
   message(FATAL_ERROR "stats: expected non-zero opt.maxsat_bound_tightenings")
 endif()
+# …and the propagation hot-loop counters fed by the CDCL verify requests
+# (request 1 runs on the default CDCL backend, so all three must be live).
+if(NOT out MATCHES "\"smt.propagations\":[1-9]")
+  message(FATAL_ERROR "stats: expected non-zero smt.propagations")
+endif()
+if(NOT out MATCHES "\"smt.watch_inspections\":[1-9]")
+  message(FATAL_ERROR "stats: expected non-zero smt.watch_inspections")
+endif()
+if(NOT out MATCHES "\"smt.blocker_hits\":[1-9]")
+  message(FATAL_ERROR "stats: expected non-zero smt.blocker_hits")
+endif()
