@@ -1,25 +1,33 @@
-// Propagation fast-path benchmarks for the CDCL core (google-benchmark).
+// Search benchmarks for the CDCL core (google-benchmark).
 //
 // The hot loop of every capability in this repo — Table-II verification,
 // Fig. 5 enumeration, portfolio racing, MaxSAT descent, CEGIS hardening —
-// is CdclSolver::propagate(). These benchmarks measure it two ways:
-//   * raw propagation throughput (propagations per second) on pigeonhole
-//     instances and near-phase-transition random 3-SAT, solved with
-//     inprocessing off so search (not simplification) dominates, and
-//   * the Fig. 5 enumeration suite (threat-space enumeration over the case
-//     study and the 30- and 57-bus synthetics), the paper-shaped workload.
+// is CdclSolver search. These benchmarks measure it two ways:
+//   * time to verdict under the DEFAULT configuration (adaptive LBD-EMA
+//     restarts, tiered learned-clause DB, rephasing) on pigeonhole
+//     instances and the Fig. 5 enumeration suite — the headline the
+//     heuristics acceptance gate tracks, and
+//   * the fixed-configuration oracle: with Luby restarts, the flat DB,
+//     rephasing and chronological backtracking all off, the search must be
+//     bit-identical to the pre-heuristics engine, pinned by exact
+//     propagation counts. Any drift means a "disabled" heuristic leaks
+//     into the search path.
 //
 // Besides the benchmark table, the run writes BENCH_cdcl.json with the
-// headline numbers the acceptance gate tracks: props/sec on both workloads
-// and the peak clause-arena footprint, next to the pre-arena baseline
-// (measured on the same hardware at the seed commit, i.e. the per-clause
-// std::vector<Lit> arena with free-listed slots) so the JSON records the
-// before/after comparison directly.
+// headline numbers next to the pre-heuristics baseline (measured on the
+// same hardware at the previous commit under the then-default fixed
+// configuration) so the JSON records the before/after comparison directly.
+//
+// With --quick-check the binary skips the benchmark table and timing loops
+// entirely and only runs the correctness half: verdict parity between the
+// default and fixed configurations, and the propagation-count oracle.
+// Exit 0 on success, 1 on any mismatch — cheap enough for a ctest step.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 
 #include "scada/core/analyzer.hpp"
 #include "scada/core/case_study.hpp"
@@ -34,13 +42,49 @@ namespace {
 
 using namespace scada;
 
-/// Pre-arena (seed) numbers for this suite, measured in Release mode on the
-/// reference container by alternating the seed and current binaries in the
-/// same idle window (best of >=10 interleaved runs each, to cancel ambient
-/// container load). Recorded so BENCH_cdcl.json carries the before/after
-/// comparison; re-measure when moving to different hardware.
-constexpr double kBaselinePhpPropsPerSec = 4.65e5;
-constexpr double kBaselineFig5PropsPerSec = 7.94e6;
+/// Pre-heuristics (previous commit) numbers for this suite, measured in
+/// Release mode on the reference container (best of >=9 runs to cancel
+/// ambient container load) under the then-default fixed configuration.
+/// Recorded so BENCH_cdcl.json carries the before/after comparison;
+/// re-measure when moving to different hardware.
+constexpr double kBaselinePhpPropsPerSec = 644780.0;
+constexpr double kBaselineFig5PropsPerSec = 10001009.0;
+/// Exact propagation counts of the pre-heuristics search on the two suites
+/// — the bit-exactness oracle the fixed configuration must reproduce.
+constexpr std::uint64_t kOraclePhpPropagations = 233502;
+constexpr std::uint64_t kOracleFig5Propagations = 820014;
+/// Derived time-to-verdict baselines (propagations / props-per-sec).
+constexpr double kBaselinePhpMs =
+    1e3 * static_cast<double>(kOraclePhpPropagations) / kBaselinePhpPropsPerSec;
+constexpr double kBaselineFig5Ms =
+    1e3 * static_cast<double>(kOracleFig5Propagations) / kBaselineFig5PropsPerSec;
+
+/// The pre-heuristics search, expressed in today's configuration space:
+/// fixed Luby cadence, flat learned DB, no rephasing, no chrono.
+smt::CdclConfig fixed_search_config() {
+  smt::CdclConfig config;
+  config.restart_mode = smt::RestartMode::Luby;
+  config.tiered_db = false;
+  config.rephase_interval = 0;
+  config.chrono = false;
+  return config;
+}
+
+smt::SessionOptions fixed_session_options() {
+  smt::SessionOptions options;
+  options.backend = smt::Backend::Cdcl;
+  options.restart_mode = smt::RestartMode::Luby;
+  options.tiered_db = false;
+  options.rephase_interval = 0;
+  options.chrono = false;
+  return options;
+}
+
+smt::SessionOptions default_session_options() {
+  smt::SessionOptions options;
+  options.backend = smt::Backend::Cdcl;
+  return options;
+}
 
 void add_pigeonhole(smt::CdclSolver& s, int pigeons, int holes) {
   const auto v = [&](int p, int h) { return static_cast<smt::Var>(p * holes + h + 1); };
@@ -70,24 +114,26 @@ void add_random_3sat(smt::CdclSolver& s, int nv, int nc, std::uint64_t seed) {
 }
 
 struct Throughput {
+  double seconds = 0.0;
   double props_per_sec = 0.0;
   std::uint64_t propagations = 0;
   std::size_t peak_arena_bytes = 0;
 };
 
-/// Solves PHP(pigeons, pigeons-1) with inprocessing off and returns the
+/// Solves PHP(pigeons, pigeons-1) with inprocessing off (so search, not
+/// simplification, dominates) under `config` and returns the wall time and
 /// propagation rate of the (unsat) search.
-Throughput php_throughput(int pigeons) {
-  smt::CdclConfig config;
+Throughput php_throughput(int pigeons, smt::CdclConfig config) {
   config.simplify = false;
   smt::CdclSolver s(config);
   add_pigeonhole(s, pigeons, pigeons - 1);
   const util::WallTimer timer;
   if (s.solve() != smt::SolveResult::Unsat) std::abort();
-  const double seconds = timer.seconds();
   Throughput out;
+  out.seconds = timer.seconds();
   out.propagations = s.stats().propagations;
-  out.props_per_sec = seconds > 0.0 ? static_cast<double>(out.propagations) / seconds : 0.0;
+  out.props_per_sec =
+      out.seconds > 0.0 ? static_cast<double>(out.propagations) / out.seconds : 0.0;
   out.peak_arena_bytes = s.peak_arena_bytes();
   return out;
 }
@@ -104,19 +150,18 @@ struct MemberRun {
   std::uint64_t propagations = 0;
   double solve_seconds = 0.0;
   std::uint64_t peak_arena_bytes = 0;
+  std::size_t vectors_found = 0;
 };
 
 /// One Fig. 5 suite member: threat-space enumeration at the CNF level (the
 /// analyzer's blocking-clause loop without oracle minimization, so the time
 /// is solver-bound, not oracle-bound). Returns cumulative propagations, wall
 /// seconds, and the peak clause-arena footprint of the whole enumeration.
-MemberRun enumerate_member(const core::ScadaScenario& scenario,
-                           std::size_t max_vectors) {
+MemberRun enumerate_member(const core::ScadaScenario& scenario, std::size_t max_vectors,
+                           const smt::SessionOptions& options) {
   smt::FormulaBuilder builder;
   core::EncoderOptions encoder_options;
   core::ThreatEncoder encoder(scenario, encoder_options, builder);
-  smt::SessionOptions options;
-  options.backend = smt::Backend::Cdcl;
   smt::Session session(builder, options);
   session.assert_formula(
       encoder.threat(core::Property::Observability, core::ResiliencySpec::per_type(2, 1)));
@@ -139,23 +184,23 @@ MemberRun enumerate_member(const core::ScadaScenario& scenario,
     session.assert_formula(builder.mk_or(block));
   }
   const smt::SessionStats stats = session.stats();
-  return {stats.propagations, solve_seconds, stats.arena_peak_bytes};
+  return {stats.propagations, solve_seconds, stats.arena_peak_bytes, found};
 }
 
 /// Propagation rate over the whole Fig. 5 enumeration suite (case study,
 /// 30-bus, 57-bus; up to 64 vectors each).
-Throughput fig5_throughput() {
+Throughput fig5_throughput(const smt::SessionOptions& options) {
   const int suite[] = {0, 30, 57};
   Throughput out;
-  double seconds = 0.0;
   for (const int buses : suite) {
-    const MemberRun run = enumerate_member(scenario_for(buses), 64);
+    const MemberRun run = enumerate_member(scenario_for(buses), 64, options);
     out.propagations += run.propagations;
-    seconds += run.solve_seconds;
+    out.seconds += run.solve_seconds;
     out.peak_arena_bytes =
         std::max(out.peak_arena_bytes, static_cast<std::size_t>(run.peak_arena_bytes));
   }
-  out.props_per_sec = seconds > 0.0 ? static_cast<double>(out.propagations) / seconds : 0.0;
+  out.props_per_sec =
+      out.seconds > 0.0 ? static_cast<double>(out.propagations) / out.seconds : 0.0;
   return out;
 }
 
@@ -165,7 +210,7 @@ void BM_PropagatePHP(benchmark::State& state) {
   std::uint64_t props = 0;
   std::size_t peak_bytes = 0;
   for (auto _ : state) {
-    const Throughput t = php_throughput(pigeons);
+    const Throughput t = php_throughput(pigeons, smt::CdclConfig{});
     props_per_sec = t.props_per_sec;
     props = t.propagations;
     peak_bytes = t.peak_arena_bytes;
@@ -202,56 +247,134 @@ BENCHMARK(BM_PropagateRandom3Sat)->Arg(150)->Arg(200)->ArgName("vars")
 void BM_Fig5Enumeration(benchmark::State& state) {
   const core::ScadaScenario scenario = scenario_for(static_cast<int>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(enumerate_member(scenario, 64));
+    benchmark::DoNotOptimize(enumerate_member(scenario, 64, default_session_options()));
   }
 }
 BENCHMARK(BM_Fig5Enumeration)->Arg(0)->Arg(30)->Arg(57)->ArgName("buses")
     ->Unit(benchmark::kMillisecond);
 
+/// Searches under the fixed configuration must be bit-identical to the
+/// pre-heuristics engine: the exact propagation counts pin that down.
+/// Returns false (and explains on stderr) when the oracle is violated.
+bool check_fixed_config_oracle() {
+  bool ok = true;
+  const Throughput php = php_throughput(9, fixed_search_config());
+  if (php.propagations != kOraclePhpPropagations) {
+    std::fprintf(stderr,
+                 "bench_cdcl: fixed-config php propagations %llu != oracle %llu "
+                 "(a disabled heuristic changed the search)\n",
+                 static_cast<unsigned long long>(php.propagations),
+                 static_cast<unsigned long long>(kOraclePhpPropagations));
+    ok = false;
+  }
+  const Throughput fig5 = fig5_throughput(fixed_session_options());
+  if (fig5.propagations != kOracleFig5Propagations) {
+    std::fprintf(stderr,
+                 "bench_cdcl: fixed-config fig5 propagations %llu != oracle %llu "
+                 "(a disabled heuristic changed the search)\n",
+                 static_cast<unsigned long long>(fig5.propagations),
+                 static_cast<unsigned long long>(kOracleFig5Propagations));
+    ok = false;
+  }
+  return ok;
+}
+
+/// Verdict parity between the default (all heuristics on) and fixed
+/// configurations: php stays unsat by construction (php_throughput aborts
+/// otherwise), and the minimal-threat antichain of every Fig. 5 suite member
+/// must be the same size. The raw CNF-level enumeration is model-dependent
+/// (different models block different supersets), so parity is checked on the
+/// analyzer's minimized enumeration, which is canonical per scenario.
+bool check_verdict_parity() {
+  bool ok = true;
+  for (const int buses : {0, 30, 57}) {
+    const core::ScadaScenario scenario = scenario_for(buses);
+    std::size_t counts[2] = {0, 0};
+    for (int i = 0; i < 2; ++i) {
+      core::AnalyzerOptions options;
+      options.solver = i == 0 ? default_session_options() : fixed_session_options();
+      core::ScadaAnalyzer analyzer(scenario, options);
+      counts[i] = analyzer
+                      .enumerate_threats(core::Property::Observability,
+                                         core::ResiliencySpec::per_type(2, 1), 64)
+                      .size();
+    }
+    if (counts[0] != counts[1]) {
+      std::fprintf(stderr,
+                   "bench_cdcl: threat-count divergence on %d buses "
+                   "(default config %zu, fixed config %zu)\n",
+                   buses, counts[0], counts[1]);
+      ok = false;
+    }
+  }
+  return ok;
+}
+
 void write_summary(const char* path) {
   // Best of nine: one solve is a single wall-clock sample and ambient
-  // container load would otherwise dominate the before/after ratio; the max
-  // over enough reps converges on the unloaded throughput. The propagation
-  // counts are identical across reps (the search is deterministic) — only
-  // wall time varies.
+  // container load would otherwise dominate the before/after ratio; the min
+  // time over enough reps converges on the unloaded verdict time. The
+  // propagation counts are identical across reps (each configuration's
+  // search is deterministic) — only wall time varies.
   Throughput php;
   Throughput fig5;
   for (int rep = 0; rep < 9; ++rep) {
-    const Throughput p = php_throughput(9);
-    if (p.props_per_sec > php.props_per_sec) php = p;
-    const Throughput f = fig5_throughput();
-    if (f.props_per_sec > fig5.props_per_sec) fig5 = f;
+    const Throughput p = php_throughput(9, smt::CdclConfig{});
+    if (rep == 0 || p.seconds < php.seconds) php = p;
+    const Throughput f = fig5_throughput(default_session_options());
+    if (rep == 0 || f.seconds < fig5.seconds) fig5 = f;
   }
+  const bool oracle_ok = check_fixed_config_oracle();
 
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_cdcl: cannot write %s\n", path);
     return;
   }
+  const double php_ms = 1e3 * php.seconds;
+  const double fig5_ms = 1e3 * fig5.seconds;
   std::fprintf(
       f,
       "{\"bench\":\"cdcl\",\"suite\":\"php(9,8)+fig5-enumerate(case,30,57;k1=2,max=64)\","
-      "\"php_props_per_sec\":%.0f,\"php_propagations\":%llu,"
-      "\"php_peak_arena_bytes\":%llu,"
-      "\"fig5_props_per_sec\":%.0f,\"fig5_propagations\":%llu,"
-      "\"fig5_peak_arena_bytes\":%llu,"
-      "\"baseline_php_props_per_sec\":%.0f,\"baseline_fig5_props_per_sec\":%.0f,"
-      "\"php_speedup\":%.3f,\"fig5_speedup\":%.3f}\n",
-      php.props_per_sec, static_cast<unsigned long long>(php.propagations),
-      static_cast<unsigned long long>(php.peak_arena_bytes),
-      fig5.props_per_sec, static_cast<unsigned long long>(fig5.propagations),
-      static_cast<unsigned long long>(fig5.peak_arena_bytes),
-      kBaselinePhpPropsPerSec, kBaselineFig5PropsPerSec,
-      kBaselinePhpPropsPerSec > 0.0 ? php.props_per_sec / kBaselinePhpPropsPerSec : 0.0,
-      kBaselineFig5PropsPerSec > 0.0 ? fig5.props_per_sec / kBaselineFig5PropsPerSec : 0.0);
+      "\"config\":\"default (adaptive restarts, tiered db, rephasing)\","
+      "\"php_time_to_verdict_ms\":%.1f,\"php_props_per_sec\":%.0f,"
+      "\"php_propagations\":%llu,\"php_peak_arena_bytes\":%llu,"
+      "\"fig5_time_to_verdict_ms\":%.1f,\"fig5_props_per_sec\":%.0f,"
+      "\"fig5_propagations\":%llu,\"fig5_peak_arena_bytes\":%llu,"
+      "\"baseline_php_time_to_verdict_ms\":%.1f,\"baseline_php_props_per_sec\":%.0f,"
+      "\"baseline_php_propagations\":%llu,"
+      "\"baseline_fig5_time_to_verdict_ms\":%.1f,\"baseline_fig5_props_per_sec\":%.0f,"
+      "\"baseline_fig5_propagations\":%llu,"
+      "\"php_speedup\":%.3f,\"fig5_speedup\":%.3f,"
+      "\"fixed_config_oracle_ok\":%s}\n",
+      php_ms, php.props_per_sec, static_cast<unsigned long long>(php.propagations),
+      static_cast<unsigned long long>(php.peak_arena_bytes), fig5_ms, fig5.props_per_sec,
+      static_cast<unsigned long long>(fig5.propagations),
+      static_cast<unsigned long long>(fig5.peak_arena_bytes), kBaselinePhpMs,
+      kBaselinePhpPropsPerSec, static_cast<unsigned long long>(kOraclePhpPropagations),
+      kBaselineFig5Ms, kBaselineFig5PropsPerSec,
+      static_cast<unsigned long long>(kOracleFig5Propagations),
+      php_ms > 0.0 ? kBaselinePhpMs / php_ms : 0.0,
+      fig5_ms > 0.0 ? kBaselineFig5Ms / fig5_ms : 0.0, oracle_ok ? "true" : "false");
   std::fclose(f);
-  std::printf("wrote %s (php %.2f Mprops/s, fig5 %.2f Mprops/s)\n", path,
-              php.props_per_sec / 1e6, fig5.props_per_sec / 1e6);
+  std::printf("wrote %s (php %.1f ms vs %.1f ms baseline, fig5 %.1f ms vs %.1f ms, "
+              "oracle %s)\n",
+              path, php_ms, kBaselinePhpMs, fig5_ms, kBaselineFig5Ms,
+              oracle_ok ? "ok" : "VIOLATED");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick-check") == 0) {
+      const bool oracle_ok = check_fixed_config_oracle();
+      const bool parity_ok = check_verdict_parity();
+      std::printf("bench_cdcl --quick-check: oracle %s, verdict parity %s\n",
+                  oracle_ok ? "ok" : "VIOLATED", parity_ok ? "ok" : "VIOLATED");
+      return oracle_ok && parity_ok ? 0 : 1;
+    }
+  }
   ::benchmark::Initialize(&argc, argv);
   if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   ::benchmark::RunSpecifiedBenchmarks();

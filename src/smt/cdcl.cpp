@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <string>
 
 #include "scada/smt/drat.hpp"
 #include "scada/smt/simplify.hpp"
@@ -9,12 +10,15 @@
 
 namespace scada::smt {
 
-CdclSolver::CdclSolver(CdclConfig config) : config_(config), branch_rng_(config.branch_seed) {
+CdclSolver::CdclSolver(CdclConfig config)
+    : config_(config), branch_rng_(config.branch_seed),
+      restart_policy_(config.restart), rephase_rng_(config.rephase_seed) {
   // Var 0 is reserved; allocate its slots so indexing by Var is direct.
   assign_.resize(2, LBool::Undef);  // two slots per var: one per literal
   level_.push_back(0);
   reason_.push_back(kNoReason);
   saved_phase_.push_back(config_.default_phase);
+  best_phase_.push_back(config_.default_phase);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(false);
@@ -32,6 +36,7 @@ Var CdclSolver::new_var() {
   level_.push_back(0);
   reason_.push_back(kNoReason);
   saved_phase_.push_back(config_.default_phase);
+  best_phase_.push_back(config_.default_phase);
   activity_.push_back(0.0);
   heap_pos_.push_back(-1);
   seen_.push_back(false);
@@ -327,7 +332,10 @@ void CdclSolver::analyze(ClauseRef conflict, std::vector<Lit>& learned,
 
   for (;;) {
     assert(reason_ref != kNoReason);
-    if (arena_.learned(reason_ref)) bump_clause(reason_ref);
+    if (arena_.learned(reason_ref)) {
+      bump_clause(reason_ref);
+      if (config_.tiered_db) update_clause_on_use(reason_ref);
+    }
     for (const Lit q : arena_.clause(reason_ref)) {
       if (have_p && q == p) continue;
       const auto qv = static_cast<std::size_t>(q.var());
@@ -525,6 +533,10 @@ Lit CdclSolver::pick_branch_literal() {
 }
 
 void CdclSolver::reduce_learned_db() {
+  if (config_.tiered_db) {
+    reduce_learned_db_tiered();
+    return;
+  }
   std::sort(learned_refs_.begin(), learned_refs_.end(), [this](ClauseRef a, ClauseRef b) {
     return arena_.activity(a) < arena_.activity(b);
   });
@@ -559,6 +571,161 @@ void CdclSolver::reduce_learned_db() {
     std::erase_if(ws, [this](const Watcher& w) { return arena_.removed(w.cref); });
   }
   maybe_collect_garbage();
+}
+
+void CdclSolver::reduce_learned_db_tiered() {
+  // Three-tier policy (Glucose/CaDiCaL lineage): core clauses (LBD at
+  // allocation or after on-use recomputation <= tier_core_lbd) are kept
+  // forever; tier-2 clauses survive while used, age while idle, and demote to
+  // the local tier after tier_mid_max_age idle reductions; the local tier is
+  // halved by activity exactly like the flat policy.
+  std::vector<ClauseRef> local;
+  std::vector<ClauseRef> kept;
+  kept.reserve(learned_refs_.size());
+  for (const ClauseRef r : learned_refs_) {
+    std::uint32_t tier = arena_.tier(r);
+    if (tier == ClauseArena::kTierMid) {
+      if (arena_.used(r)) {
+        arena_.set_used(r, false);
+        arena_.set_age(r, 0);
+      } else {
+        const std::uint32_t age = arena_.age(r) + 1;
+        if (age >= config_.tier_mid_max_age) {
+          arena_.set_tier(r, ClauseArena::kTierLocal);
+          tier = ClauseArena::kTierLocal;
+          ++stats_.tier_demotions;
+        } else {
+          arena_.set_age(r, age);
+        }
+      }
+    }
+    if (tier == ClauseArena::kTierLocal) {
+      arena_.set_used(r, false);
+      local.push_back(r);
+    } else {
+      kept.push_back(r);
+    }
+  }
+  std::sort(local.begin(), local.end(), [this](ClauseRef a, ClauseRef b) {
+    return arena_.activity(a) < arena_.activity(b);
+  });
+  const std::size_t target = local.size() / 2;
+  std::size_t removed = 0;
+  for (const ClauseRef r : local) {
+    const bool is_reason = [&] {
+      // Same one-probe reason test as the flat policy: an assigned variable's
+      // reason clause keeps that variable's literal at index 0.
+      const Lit first = arena_.lits(r)[0];
+      const auto v = static_cast<std::size_t>(first.var());
+      return var_value(first.var()) != LBool::Undef && reason_[v] == r;
+    }();
+    if (removed < target && arena_.size(r) > 2 && !is_reason) {
+      if (proof_ != nullptr) proof_->delete_clause(arena_.clause(r));
+      arena_.free_clause(r);
+      ++removed;
+      ++stats_.removed_clauses;
+    } else {
+      kept.push_back(r);
+    }
+  }
+  learned_refs_ = std::move(kept);
+  for (auto& ws : watches_) {
+    std::erase_if(ws, [this](const Watcher& w) { return arena_.removed(w.cref); });
+  }
+  maybe_collect_garbage();
+}
+
+DbTierSizes CdclSolver::db_tier_sizes() const noexcept {
+  DbTierSizes sizes;
+  for (const ClauseRef r : learned_refs_) {
+    if (arena_.removed(r)) continue;
+    switch (arena_.tier(r)) {
+      case ClauseArena::kTierCore: ++sizes.core; break;
+      case ClauseArena::kTierMid: ++sizes.mid; break;
+      default: ++sizes.local; break;
+    }
+  }
+  return sizes;
+}
+
+void CdclSolver::update_clause_on_use(ClauseRef cref) {
+  arena_.set_used(cref, true);
+  const std::uint32_t stored = arena_.lbd(cref);
+  if (stored <= config_.tier_core_lbd) return;  // already in the top tier
+  const std::uint32_t fresh = clause_lbd(arena_.clause(cref));
+  if (fresh >= stored) return;
+  arena_.set_lbd(cref, fresh);
+  const std::uint32_t tier = tier_for(fresh);
+  if (tier > arena_.tier(cref)) {  // tiers order local(0) < mid(1) < core(2)
+    arena_.set_tier(cref, tier);
+    arena_.set_age(cref, 0);
+    ++stats_.tier_promotions;
+  }
+}
+
+void CdclSolver::note_trail_for_rephase() {
+  if (trail_.size() <= best_trail_size_) return;
+  best_trail_size_ = trail_.size();
+  for (const Lit l : trail_) {
+    best_phase_[static_cast<std::size_t>(l.var())] = !l.negated();
+  }
+}
+
+void CdclSolver::apply_rephase() {
+  conflicts_since_rephase_ = 0;
+  best_trail_size_ = 0;  // each epoch competes for "best" afresh
+  ++stats_.rephases;
+  switch (rephase_count_++ % 6) {
+    case 1:  // original phase
+      std::fill(saved_phase_.begin(), saved_phase_.end(), config_.default_phase);
+      break;
+    case 3:  // inverted phase
+      std::fill(saved_phase_.begin(), saved_phase_.end(), !config_.default_phase);
+      break;
+    case 5:  // seeded-random phase (deterministic xorshift64 stream)
+      for (std::size_t i = 0; i < saved_phase_.size(); ++i) {
+        rephase_rng_ ^= rephase_rng_ << 13;
+        rephase_rng_ ^= rephase_rng_ >> 7;
+        rephase_rng_ ^= rephase_rng_ << 17;
+        saved_phase_[i] = (rephase_rng_ & 1) != 0;
+      }
+      break;
+    default:  // cases 0, 2, 4: phases of the deepest trail seen
+      saved_phase_ = best_phase_;
+      break;
+  }
+}
+
+void CdclSolver::check_trail_invariants() const {
+  const auto fail = [](const char* what) {
+    throw SolverError(std::string("trail invariant violated: ") + what);
+  };
+  // Decision-level boundaries must be sorted and inside the trail.
+  for (std::size_t d = 0; d < trail_lim_.size(); ++d) {
+    if (trail_lim_[d] > trail_.size()) fail("trail_lim beyond trail");
+    if (d > 0 && trail_lim_[d] < trail_lim_[d - 1]) fail("trail_lim not sorted");
+  }
+  std::uint32_t prev_level = 0;
+  for (std::size_t i = 0; i < trail_.size(); ++i) {
+    const Lit l = trail_[i];
+    const auto v = static_cast<std::size_t>(l.var());
+    if (value(l) != LBool::True) fail("trail literal not true");
+    // Weak chronological backtracking never assigns out of order, so trail
+    // levels stay monotone — the invariant analyze() depends on.
+    const std::uint32_t lv = level_[v];
+    if (lv < prev_level) fail("trail levels not monotone");
+    prev_level = lv;
+    const ClauseRef r = reason_[v];
+    if (r == kNoReason || lv == 0) continue;
+    const std::span<const Lit> lits = arena_.clause(r);
+    if (lits.empty() || lits[0] != l) fail("reason clause does not start with its literal");
+    for (std::size_t j = 1; j < lits.size(); ++j) {
+      if (value(lits[j]) != LBool::False) fail("reason clause not unit under trail");
+      if (level_[static_cast<std::size_t>(lits[j].var())] > lv) {
+        fail("reason antecedent above implied literal's level");
+      }
+    }
+  }
 }
 
 void CdclSolver::maybe_collect_garbage() {
@@ -680,19 +847,43 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
         ++stats_.clauses_exported;
         exchange_->export_clause(learned, lbd);
       }
+      // Heuristic bookkeeping reads the pre-backtrack trail: the adaptive
+      // policy's depth signal and the best-phase snapshot both mean the trail
+      // at conflict detection, not the post-jump remnant.
+      if (config_.restart_mode == RestartMode::Adaptive &&
+          restart_policy_.on_conflict(lbd, trail_.size())) {
+        ++stats_.restarts_blocked;
+      }
+      if (config_.rephase_interval != 0) {
+        ++conflicts_since_rephase_;
+        note_trail_for_rephase();
+      }
+      std::uint32_t target_level = backtrack_level;
+      if (config_.chrono && learned.size() > 1 &&
+          decision_level() - backtrack_level > config_.chrono_distance) {
+        // Chronological backtracking (weak form): undo only the conflicting
+        // level instead of the long jump. The asserting literal is still unit
+        // there — every other literal of the clause stays false at or below
+        // decision_level()-1 — so assignment levels never go out of order and
+        // first-UIP analysis (and with it DRAT logging) is untouched.
+        target_level = decision_level() - 1;
+        ++stats_.chrono_backtracks;
+      }
       // Backtracking below the assumption prefix is fine: the loop below
       // re-places assumptions, and a now-false assumption yields Unsat there.
-      cancel_until(backtrack_level);
+      cancel_until(target_level);
       if (learned.size() == 1) {
         enqueue(learned[0], kNoReason);
       } else {
         const ClauseRef cref = alloc_clause(learned, true);
         arena_.set_lbd(cref, lbd);
+        if (config_.tiered_db) arena_.set_tier(cref, tier_for(lbd));
         ++stats_.learned_clauses;
         attach_clause(cref);
         bump_clause(cref);
         enqueue(learned[0], cref);
       }
+      if (config_.check_invariants) check_trail_invariants();
       decay_var_activity();
       decay_clause_activity();
 
@@ -715,11 +906,24 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
       cancel_until(0);
       return SolveResult::Unknown;
     }
-    if (conflicts_until_restart == 0 && decision_level() > assumptions.size()) {
+    const bool restart_due = config_.restart_mode == RestartMode::Luby
+                                 ? conflicts_until_restart == 0
+                                 : restart_policy_.should_restart();
+    if (restart_due && decision_level() > assumptions.size()) {
       ++stats_.restarts;
-      conflicts_until_restart =
-          static_cast<std::uint64_t>(luby(++restart_count)) * config_.restart_base;
+      if (config_.restart_mode == RestartMode::Luby) {
+        conflicts_until_restart =
+            static_cast<std::uint64_t>(luby(++restart_count)) * config_.restart_base;
+      } else {
+        restart_policy_.on_restart();
+      }
       cancel_until(static_cast<std::uint32_t>(assumptions.size()));
+      // Rephasing rides the restart boundary: the saved-phase reset lands on
+      // an (assumption-prefix-only) trail, so no live assignment is disturbed.
+      if (config_.rephase_interval != 0 &&
+          conflicts_since_rephase_ >= config_.rephase_interval) {
+        apply_rephase();
+      }
       // Pull foreign portfolio clauses in at level 0 — the only place the
       // two-watched-literal invariant can be (re)established trivially. Any
       // assumption prefix undone here is re-placed by the loop below.
@@ -739,6 +943,13 @@ SolveResult CdclSolver::solve(std::span<const Lit> assumptions) {
     if (learned_refs_.size() >= static_cast<std::size_t>(learned_limit_)) {
       reduce_learned_db();
       learned_limit_ *= config_.learned_growth;
+      if (config_.tiered_db) {
+        // Core/tier-2 clauses are not removable, so a protected-heavy DB
+        // could sit at the limit and re-trigger reduction every decision;
+        // keep 50% headroom over whatever survived.
+        learned_limit_ = std::max(
+            learned_limit_, static_cast<double>(learned_refs_.size()) * 1.5);
+      }
     }
 
     // Place pending assumptions as decisions.
@@ -829,6 +1040,11 @@ bool CdclSolver::import_clause(const Clause& clause_in) {
     return !unsat_;
   }
   const ClauseRef cref = alloc_clause(normalized, true);
+  // A foreign clause arrives without a live-trail LBD; its size is a sound
+  // upper bound, and on-use recomputation tightens (and promotes) it later.
+  const auto size_bound = static_cast<std::uint32_t>(normalized.size());
+  arena_.set_lbd(cref, size_bound);
+  if (config_.tiered_db) arena_.set_tier(cref, tier_for(size_bound));
   attach_clause(cref);
   return true;
 }

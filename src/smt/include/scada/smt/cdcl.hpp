@@ -54,12 +54,134 @@ class LevelStampCounter {
   std::uint64_t generation_ = 0;
 };
 
+/// Exponential moving average over a conflict-indexed stream. The first
+/// sample primes the average directly (no zero-bias warm-up), so short
+/// scripted sequences in tests behave exactly like the analytical recurrence
+/// value_{n+1} = value_n + alpha * (sample - value_n).
+class Ema {
+ public:
+  explicit Ema(double alpha) noexcept : alpha_(alpha) {}
+  void update(double sample) noexcept {
+    if (!primed_) {
+      value_ = sample;
+      primed_ = true;
+      return;
+    }
+    value_ += alpha_ * (sample - value_);
+  }
+  [[nodiscard]] double value() const noexcept { return value_; }
+  [[nodiscard]] bool primed() const noexcept { return primed_; }
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool primed_ = false;
+};
+
+struct AdaptiveRestartConfig {
+  /// Smoothing factor of the short-window LBD average (reacts within tens of
+  /// conflicts) and of the long-run average it is compared against.
+  double fast_alpha = 1.0 / 32.0;
+  double slow_alpha = 1.0 / 4096.0;
+  /// Restart when fast > margin * slow — recent learned clauses are this much
+  /// worse (higher-LBD) than the long-run mix.
+  double margin = 1.15;
+  /// Minimum conflicts between adaptive restarts (the re-arm window; also the
+  /// window re-opened by a blocked restart).
+  std::uint32_t min_conflicts = 64;
+  /// Block a pending restart while the trail is this much deeper than its
+  /// long-run average — the solver looks close to completing an assignment
+  /// and a restart would throw that progress away.
+  double block_margin = 1.4;
+  double trail_alpha = 1.0 / 4096.0;  ///< smoothing of the trail-depth average
+};
+
+/// The adaptive restart trigger/block state machine, factored out of the
+/// solver so its EMA arithmetic is unit-testable on scripted conflict
+/// sequences. Deterministic: a pure function of the (lbd, trail) stream.
+class AdaptiveRestartPolicy {
+ public:
+  explicit AdaptiveRestartPolicy(AdaptiveRestartConfig config = {}) noexcept
+      : config_(config), fast_(config.fast_alpha), slow_(config.slow_alpha),
+        trail_(config.trail_alpha) {}
+
+  /// Feeds one conflict (the fresh learned clause's LBD and the trail size at
+  /// conflict detection). Returns true iff a pending restart was blocked by
+  /// the deep-trail condition (the conflict window re-arms from zero).
+  bool on_conflict(std::uint32_t lbd, std::size_t trail_size) noexcept {
+    ++conflicts_since_restart_;
+    fast_.update(static_cast<double>(lbd));
+    slow_.update(static_cast<double>(lbd));
+    trail_.update(static_cast<double>(trail_size));
+    if (armed() && static_cast<double>(trail_size) >
+                       config_.block_margin * trail_.value()) {
+      ++blocked_;
+      conflicts_since_restart_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the solver should restart at the next decision boundary.
+  [[nodiscard]] bool should_restart() const noexcept { return armed(); }
+  /// The solver restarted; closes the conflict window.
+  void on_restart() noexcept { conflicts_since_restart_ = 0; }
+
+  [[nodiscard]] std::uint64_t blocked() const noexcept { return blocked_; }
+  [[nodiscard]] double fast_lbd() const noexcept { return fast_.value(); }
+  [[nodiscard]] double slow_lbd() const noexcept { return slow_.value(); }
+  [[nodiscard]] double trail_average() const noexcept { return trail_.value(); }
+
+ private:
+  [[nodiscard]] bool armed() const noexcept {
+    return conflicts_since_restart_ >= config_.min_conflicts &&
+           fast_.value() > config_.margin * slow_.value();
+  }
+
+  AdaptiveRestartConfig config_;
+  Ema fast_;
+  Ema slow_;
+  Ema trail_;
+  std::uint32_t conflicts_since_restart_ = 0;
+  std::uint64_t blocked_ = 0;
+};
+
 struct CdclConfig {
   double var_decay = 0.95;          ///< EVSIDS decay factor
   double clause_decay = 0.999;      ///< learned clause activity decay
   std::uint32_t restart_base = 100; ///< conflicts per Luby unit
   std::size_t learned_base = 4000;  ///< initial learned-DB soft limit
   double learned_growth = 1.1;      ///< limit growth per reduction
+  // --- search heuristics (Glucose/Kissat era; each independently toggleable) ---
+  /// Adaptive LBD-EMA restarts by default; Luby keeps the search bit-identical
+  /// to the fixed-cadence engine (the propagation-count oracle configuration).
+  RestartMode restart_mode = RestartMode::Adaptive;
+  AdaptiveRestartConfig restart;  ///< adaptive-mode parameters
+  /// Three-tier learned-clause database: core (LBD <= tier_core_lbd, kept
+  /// forever), tier2 (LBD <= tier_mid_lbd, aged out after tier_mid_max_age
+  /// reductions without use), local (activity halving). Off = flat
+  /// activity-sorted halving, bit-identical to the pre-tier engine.
+  bool tiered_db = true;
+  std::uint32_t tier_core_lbd = 2;
+  std::uint32_t tier_mid_lbd = 6;
+  std::uint32_t tier_mid_max_age = 2;
+  /// Conflicts between saved-phase resets (cycling best/original/inverted/
+  /// random); 0 disables rephasing.
+  std::uint32_t rephase_interval = 1024;
+  /// Seeds the xorshift64 stream of the random rephase step (deterministic
+  /// for a fixed seed; must be nonzero for the stream to move).
+  std::uint64_t rephase_seed = 0x9e3779b97f4a7c15ULL;
+  /// Chronological backtracking: when first-UIP analysis would jump back more
+  /// than chrono_distance levels, backtrack one level instead and let the
+  /// asserting clause propagate from there (Nadel & Ryvchin 2018, without
+  /// out-of-order assignment levels). Off by default so fixed-config
+  /// propagation-count oracles and differential baselines stay valid.
+  bool chrono = false;
+  std::uint32_t chrono_distance = 100;
+  /// Test hook: verify trail/watch invariants after every conflict (trail
+  /// level monotonicity, reason-clause implication shape). Throws ScadaError
+  /// on violation. Expensive — tests only.
+  bool check_invariants = false;
   /// Conflict budget; solve() returns Unknown when exhausted. 0 = unlimited.
   std::uint64_t max_conflicts = 0;
   /// SatELite-style inprocessing (subsumption, self-subsuming resolution,
@@ -125,6 +247,16 @@ struct CdclStats {
   std::uint64_t learned_clauses = 0;
   std::uint64_t removed_clauses = 0;
   std::uint64_t minimized_literals = 0;
+  // --- search-heuristic counters ---
+  /// Adaptive restarts suppressed by the deep-trail blocking condition.
+  std::uint64_t restarts_blocked = 0;
+  /// Saved-phase vector resets (best/original/inverted/random cycle).
+  std::uint64_t rephases = 0;
+  /// Conflicts resolved by backtracking one level instead of the full jump.
+  std::uint64_t chrono_backtracks = 0;
+  /// Tier moves driven by on-use LBD recomputation / reduction-pass aging.
+  std::uint64_t tier_promotions = 0;
+  std::uint64_t tier_demotions = 0;
   // --- inprocessing counters ---
   std::uint64_t simplify_rounds = 0;      ///< full simplify() passes executed
   std::uint64_t vars_eliminated = 0;      ///< variables removed by BVE
@@ -140,6 +272,14 @@ struct CdclStats {
 };
 
 class Simplifier;
+
+/// Current population of the three learned-clause tiers (snapshot, not
+/// cumulative — the service exports these as gauges).
+struct DbTierSizes {
+  std::size_t core = 0;
+  std::size_t mid = 0;
+  std::size_t local = 0;
+};
 
 class CdclSolver {
  public:
@@ -223,6 +363,9 @@ class CdclSolver {
   void set_exchange(ClauseExchange* exchange) noexcept { exchange_ = exchange; }
 
   [[nodiscard]] const CdclStats& stats() const noexcept { return stats_; }
+  /// Live learned clauses per tier (O(learned) scan; called for stats export,
+  /// not from the search loop). With tiered_db off everything is local.
+  [[nodiscard]] DbTierSizes db_tier_sizes() const noexcept;
   [[nodiscard]] std::size_t num_clauses() const noexcept { return num_problem_clauses_; }
   /// Current clause-arena footprint (headers + literals, removed-but-not-yet-
   /// collected clauses included). Stays bounded across reductions because the
@@ -285,9 +428,28 @@ class CdclSolver {
   void decay_clause_activity();
   [[nodiscard]] Lit pick_branch_literal();
   void reduce_learned_db();
+  void reduce_learned_db_tiered();
   [[nodiscard]] static std::uint32_t luby(std::uint32_t i) noexcept;
   /// LBD (number of distinct decision levels) of a clause on the live trail.
   [[nodiscard]] std::uint32_t clause_lbd(std::span<const Lit> lits);
+  /// Tier a learned clause of this LBD starts in.
+  [[nodiscard]] std::uint32_t tier_for(std::uint32_t lbd) const noexcept {
+    if (lbd <= config_.tier_core_lbd) return ClauseArena::kTierCore;
+    if (lbd <= config_.tier_mid_lbd) return ClauseArena::kTierMid;
+    return ClauseArena::kTierLocal;
+  }
+  /// On-use upkeep of a learned reason clause under the tiered DB: marks it
+  /// used, re-computes its LBD against the live trail, and promotes it when
+  /// the LBD improved across a tier boundary.
+  void update_clause_on_use(ClauseRef cref);
+  /// Snapshots the current assignment's phases into best_phase_ when this is
+  /// the deepest trail seen since the last rephase.
+  void note_trail_for_rephase();
+  /// Applies the next step of the rephase cycle to saved_phase_.
+  void apply_rephase();
+  /// check_invariants hook: trail level monotonicity, assignment coherence,
+  /// and reason-clause shape. Throws ScadaError on violation.
+  void check_trail_invariants() const;
 
   // --- clause-arena garbage collection ---
   /// Relocates every live clause into a fresh arena and patches all
@@ -413,6 +575,14 @@ class CdclSolver {
   std::size_t clauses_at_last_simplify_ = 0;
   bool simplified_once_ = false;
   std::uint32_t restarts_since_vivify_ = 0;
+
+  // --- search-heuristic state ---
+  AdaptiveRestartPolicy restart_policy_;  ///< adaptive-mode trigger/block EMAs
+  std::vector<bool> best_phase_;          ///< phases of the deepest trail seen
+  std::size_t best_trail_size_ = 0;       ///< depth of that trail (resets on rephase)
+  std::uint64_t conflicts_since_rephase_ = 0;
+  std::uint64_t rephase_count_ = 0;       ///< position in the rephase cycle
+  std::uint64_t rephase_rng_ = 0;         ///< xorshift64 state of random rephasing
 
   double var_inc_ = 1.0;
   double clause_inc_ = 1.0;

@@ -9,8 +9,12 @@
 //
 // Header layout (word 0 is the ref target):
 //   word 0   size<<3 | learned(bit 0) | removed(bit 1) | relocated(bit 2)
-//   word 1   LBD — or, once `relocated` is set, the forwarding Ref of the
-//            clause's copy in the destination arena of a GC pass
+//   word 1   packed search metadata — LBD in the low 26 bits, the learned-DB
+//            tier in bits 26..27, the tier-2 age counter in bits 28..29 and
+//            the used-since-last-reduction flag in bit 30 — or, once
+//            `relocated` is set, the forwarding Ref of the clause's copy in
+//            the destination arena of a GC pass (relocation copies the whole
+//            packed word, so tier state survives compaction)
 //   word 2/3 activity as the lo/hi halves of an IEEE-754 double (bit_cast),
 //            kept at full double width so activity comparisons — and with
 //            them reduce_learned_db's ordering decisions — are bit-identical
@@ -76,13 +80,51 @@ class ClauseArena {
     return {lits(r), size(r)};
   }
 
+  // Learned-DB tiers (CdclSolver's three-tier database; kLocal must be 0 so
+  // freshly allocated clauses start in the activity-managed local tier).
+  static constexpr std::uint32_t kTierLocal = 0;
+  static constexpr std::uint32_t kTierMid = 1;
+  static constexpr std::uint32_t kTierCore = 2;
+
   [[nodiscard]] std::uint32_t lbd(Ref r) const noexcept {
     assert(!relocated(r));
-    return word(r + 1);
+    return word(r + 1) & kLbdMask;
   }
   void set_lbd(Ref r, std::uint32_t lbd) noexcept {
     assert(!relocated(r));
-    set_word(r + 1, lbd);
+    if (lbd > kLbdMask) lbd = kLbdMask;
+    set_word(r + 1, (word(r + 1) & ~kLbdMask) | lbd);
+  }
+
+  [[nodiscard]] std::uint32_t tier(Ref r) const noexcept {
+    assert(!relocated(r));
+    return (word(r + 1) >> kTierShift) & 3u;
+  }
+  void set_tier(Ref r, std::uint32_t tier) noexcept {
+    assert(!relocated(r) && tier <= kTierCore);
+    set_word(r + 1, (word(r + 1) & ~(3u << kTierShift)) | (tier << kTierShift));
+  }
+
+  /// Saturating reduction-pass age of a tier-2 clause (resets on use).
+  [[nodiscard]] std::uint32_t age(Ref r) const noexcept {
+    assert(!relocated(r));
+    return (word(r + 1) >> kAgeShift) & 3u;
+  }
+  void set_age(Ref r, std::uint32_t age) noexcept {
+    assert(!relocated(r));
+    if (age > 3u) age = 3u;
+    set_word(r + 1, (word(r + 1) & ~(3u << kAgeShift)) | (age << kAgeShift));
+  }
+
+  /// Used-as-a-reason-since-the-last-reduction flag (tier aging input).
+  [[nodiscard]] bool used(Ref r) const noexcept {
+    assert(!relocated(r));
+    return (word(r + 1) & (1u << kUsedShift)) != 0;
+  }
+  void set_used(Ref r, bool used) noexcept {
+    assert(!relocated(r));
+    set_word(r + 1, used ? word(r + 1) | (1u << kUsedShift)
+                         : word(r + 1) & ~(1u << kUsedShift));
   }
 
   [[nodiscard]] double activity(Ref r) const noexcept {
@@ -118,10 +160,10 @@ class ClauseArena {
   Ref relocate(Ref r, ClauseArena& to) {
     assert(!removed(r));
     if (relocated(r)) return forwarded(r);
-    const std::uint32_t saved_lbd = lbd(r);
+    const std::uint32_t saved_meta = word(r + 1);  // LBD + tier + age + used
     const double saved_activity = activity(r);
     const Ref nr = to.alloc(clause(r), learned(r));
-    to.set_lbd(nr, saved_lbd);
+    to.set_word(nr + 1, saved_meta);
     to.set_activity(nr, saved_activity);
     set_word(r, word(r) | 4u);
     set_word(r + 1, nr);
@@ -151,6 +193,12 @@ class ClauseArena {
   [[nodiscard]] std::size_t peak_bytes() const noexcept { return peak_bytes_; }
 
  private:
+  // Packed layout of the metadata word (word 1).
+  static constexpr std::uint32_t kLbdMask = (1u << 26) - 1;
+  static constexpr std::uint32_t kTierShift = 26;
+  static constexpr std::uint32_t kAgeShift = 28;
+  static constexpr std::uint32_t kUsedShift = 30;
+
   // Leave headroom below UINT32_MAX: refs must stay distinguishable from the
   // solver's kNoReason sentinel and a header must never wrap the offset.
   static constexpr std::size_t kMaxWords =

@@ -1,8 +1,9 @@
 // Portfolio CDCL solving with learned-clause sharing.
 //
 // A PortfolioSolver runs N diversified CdclSolver workers over the same CNF
-// (varied restart cadence, branching randomization, initial phase polarity,
-// and inprocessing on/off) and returns the first Sat/Unsat verdict, cancelling
+// (varied restart mode and cadence, rephase schedule, chronological
+// backtracking, branching randomization, initial phase polarity, and
+// inprocessing on/off) and returns the first Sat/Unsat verdict, cancelling
 // the losers through their cooperative interrupt flags. Workers exchange
 // short / low-LBD learned clauses through a bounded, mutex-sharded pool
 // (SharedClausePool): each worker publishes only into its own shard, so
@@ -142,7 +143,8 @@ struct PortfolioConfig {
 };
 
 /// The diversification table: worker 0 is the base configuration, the others
-/// vary restart cadence, initial phase, random branching, activity decay and
+/// vary restart mode and cadence, rephase schedule, chronological
+/// backtracking, initial phase, random branching, activity decay and
 /// (when no proof is attached) inprocessing. Deterministic in (base, worker).
 [[nodiscard]] CdclConfig diversified_cdcl_config(const CdclConfig& base, unsigned worker);
 
@@ -225,6 +227,10 @@ class PortfolioSolver {
   /// peak_arena_bytes of the same worker winner_stats() reports on).
   [[nodiscard]] std::size_t winner_peak_arena_bytes() const {
     return workers_[static_cast<std::size_t>(winner_ < 0 ? 0 : winner_)]->peak_arena_bytes();
+  }
+  /// Learned-DB tier populations of the same worker winner_stats() reports on.
+  [[nodiscard]] DbTierSizes winner_db_tier_sizes() const {
+    return workers_[static_cast<std::size_t>(winner_ < 0 ? 0 : winner_)]->db_tier_sizes();
   }
   [[nodiscard]] int winner() const noexcept { return winner_; }
 

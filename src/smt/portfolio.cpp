@@ -90,25 +90,43 @@ CdclConfig diversified_cdcl_config(const CdclConfig& base, unsigned worker) {
   if (worker == 0) return c;  // serial parity: worker 0 is the base engine
   // Golden-ratio mixing keeps the per-worker random streams decorrelated.
   const std::uint64_t seed = (0x9e3779b97f4a7c15ULL * (worker + 1)) | 1ULL;
+  // Every non-base worker gets its own rephase stream; the restart-mode /
+  // rephase-cadence / chrono dimensions below are the main diversification
+  // axes (complementary search schedules find complementary conflicts, which
+  // is what makes clause sharing pay off).
+  c.rephase_seed = seed ^ (seed << 32);
   switch (worker % 4) {
-    case 1:  // rapid restarts, inverted initial phase
+    case 1:  // Luby cadence, inverted initial phase, chrono on: the classic
+             // fixed-schedule engine exploring the complementary half-space
+      c.restart_mode = RestartMode::Luby;
       c.restart_base = std::max(base.restart_base / 2, 25u);
       c.default_phase = !base.default_phase;
+      c.chrono = true;
       break;
-    case 2:  // slow restarts, light random branching
-      c.restart_base = base.restart_base * 4;
+    case 2:  // adaptive restarts on a hair trigger, rapid rephasing, light
+             // random branching
+      c.restart_mode = RestartMode::Adaptive;
+      c.restart.margin = 1.05;
+      c.restart.min_conflicts = 32;
+      c.rephase_interval = base.rephase_interval == 0 ? 0 : 256;
       c.branch_seed = seed;
       c.random_branch_freq = 0.02;
       break;
-    case 3:  // aggressive activity decay, heavier randomization, no inprocessing
+    case 3:  // aggressive activity decay, heavier randomization, rephasing
+             // off, no inprocessing
       c.var_decay = 0.90;
       c.default_phase = !base.default_phase;
+      c.rephase_interval = 0;
       c.branch_seed = seed;
       c.random_branch_freq = 0.05;
       c.simplify = false;
       break;
-    default:  // workers 4, 8, ...: doubled cadence with a fresh random stream
+    default:  // workers 4, 8, ...: slow Luby cadence, lazy rephasing, chrono,
+              // a fresh random stream
+      c.restart_mode = RestartMode::Luby;
       c.restart_base = base.restart_base * 2;
+      c.rephase_interval = base.rephase_interval == 0 ? 0 : 4096;
+      c.chrono = true;
       c.branch_seed = seed;
       c.random_branch_freq = 0.01;
       break;
@@ -312,7 +330,11 @@ class PortfolioSessionImpl final : public SessionImpl {
   PortfolioSessionImpl(const FormulaBuilder& builder, const SessionOptions& options)
       : builder_(builder),
         solver_(PortfolioConfig{.workers = options.portfolio < 1 ? 1 : options.portfolio,
-                                .base = CdclConfig{.max_conflicts = options.max_conflicts,
+                                .base = CdclConfig{.restart_mode = options.restart_mode,
+                                                   .tiered_db = options.tiered_db,
+                                                   .rephase_interval = options.rephase_interval,
+                                                   .chrono = options.chrono,
+                                                   .max_conflicts = options.max_conflicts,
                                                    .simplify = options.simplify}}),
         recorder_(options.certify ? std::make_unique<DratProofRecorder>() : nullptr),
         sink_(solver_, recorder_ ? &cnf_ : nullptr),
@@ -370,6 +392,13 @@ class PortfolioSessionImpl final : public SessionImpl {
     stats.restarts = s.restarts;
     stats.learned_clauses = s.learned_clauses;
     stats.removed_clauses = s.removed_clauses;
+    stats.restarts_blocked = s.restarts_blocked;
+    stats.rephases = s.rephases;
+    stats.chrono_backtracks = s.chrono_backtracks;
+    const DbTierSizes tiers = solver_.winner_db_tier_sizes();
+    stats.db_core = tiers.core;
+    stats.db_tier2 = tiers.mid;
+    stats.db_local = tiers.local;
     stats.simplify_rounds = s.simplify_rounds;
     stats.vars_eliminated = s.vars_eliminated;
     stats.clauses_subsumed = s.clauses_subsumed;

@@ -16,7 +16,10 @@
 // certification on) so sharing and winner-cancellation face the same gate.
 // A seventh configuration gates the optimization subsystem: the MaxSAT
 // security index (both strategies, both backends) must equal the brute-force
-// minimum attack cardinality.
+// minimum attack cardinality. Two further certified CDCL configurations
+// diversify the search heuristics (aggressive rephasing + chronological
+// backtracking, and tiered-DB-only with rephasing off) so none of the modern
+// search features can silently flip a verdict or emit an uncheckable proof.
 #include <gtest/gtest.h>
 
 #include <optional>
@@ -96,17 +99,34 @@ TEST(DifferentialFuzzTest, AllEnginesAgreeOnRandomScenarios) {
     // shows up as a divergence or a rejected certificate here.
     AnalyzerOptions portfolio_options = cdcl_options;
     portfolio_options.solver.portfolio = 3;
+    // Heuristic configurations: the default CDCL run above already exercises
+    // adaptive restarts + tiered DB + rephasing; these two push the remaining
+    // corners. The first turns on chronological backtracking and rephases
+    // aggressively (every 64 conflicts, so the cycle actually fires on these
+    // small instances); the second runs the tiered DB alone, rephasing and
+    // chrono off. Both are certified — an unsound learned clause from any of
+    // the heuristics fails the DRAT replay, not just the verdict comparison.
+    AnalyzerOptions heur_chrono_options = cdcl_options;
+    heur_chrono_options.solver.rephase_interval = 64;
+    heur_chrono_options.solver.chrono = true;
+    AnalyzerOptions heur_tiered_options = cdcl_options;
+    heur_tiered_options.solver.rephase_interval = 0;
+    heur_tiered_options.solver.chrono = false;
 
     ScadaAnalyzer z3(s, z3_options);
     ScadaAnalyzer cdcl(s, cdcl_options);
     ScadaAnalyzer plain(s, plain_options);
     ScadaAnalyzer portfolio(s, portfolio_options);
+    ScadaAnalyzer heur_chrono(s, heur_chrono_options);
+    ScadaAnalyzer heur_tiered(s, heur_tiered_options);
     BruteForceVerifier brute(s, c.encoder);
 
     const auto z3_result = z3.verify(c.property, c.spec);
     const auto cdcl_result = cdcl.verify(c.property, c.spec);
     const auto plain_result = plain.verify(c.property, c.spec);
     const auto portfolio_result = portfolio.verify(c.property, c.spec);
+    const auto heur_chrono_result = heur_chrono.verify(c.property, c.spec);
+    const auto heur_tiered_result = heur_tiered.verify(c.property, c.spec);
     const auto brute_result = brute.verify(c.property, c.spec);
     EXPECT_EQ(z3_result.result, cdcl_result.result) << "Z3 vs CDCL: " << describe(c);
     EXPECT_EQ(z3_result.result, brute_result.result) << "SMT vs brute: " << describe(c);
@@ -114,11 +134,19 @@ TEST(DifferentialFuzzTest, AllEnginesAgreeOnRandomScenarios) {
         << "CDCL simplify on vs off: " << describe(c);
     EXPECT_EQ(cdcl_result.result, portfolio_result.result)
         << "CDCL serial vs portfolio: " << describe(c);
+    EXPECT_EQ(cdcl_result.result, heur_chrono_result.result)
+        << "CDCL default vs rephase+chrono: " << describe(c);
+    EXPECT_EQ(cdcl_result.result, heur_tiered_result.result)
+        << "CDCL default vs tiered-only: " << describe(c);
     EXPECT_TRUE(cdcl_result.certified) << "CDCL verdict without certificate: " << describe(c);
     EXPECT_TRUE(plain_result.certified)
         << "no-simplify CDCL verdict without certificate: " << describe(c);
     EXPECT_TRUE(portfolio_result.certified)
         << "portfolio verdict without certificate: " << describe(c);
+    EXPECT_TRUE(heur_chrono_result.certified)
+        << "rephase+chrono verdict without certificate: " << describe(c);
+    EXPECT_TRUE(heur_tiered_result.certified)
+        << "tiered-only verdict without certificate: " << describe(c);
     EXPECT_EQ(portfolio_result.solver_stats.portfolio_workers, 3u) << describe(c);
   }
 }

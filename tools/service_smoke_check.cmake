@@ -82,3 +82,17 @@ endif()
 if(NOT out MATCHES "\"smt.blocker_hits\":[1-9]")
   message(FATAL_ERROR "stats: expected non-zero smt.blocker_hits")
 endif()
+# …and the search-heuristic export. Presence (not non-zero) is asserted for
+# the activity counters — the small smoke instances may legitimately finish
+# without a blocked restart or a rephase — but all keys must exist, and the
+# tier gauges must appear in the gauges section.
+foreach(key "smt.restarts" "smt.restarts_blocked" "smt.rephases" "smt.chrono_backtracks")
+  if(NOT out MATCHES "\"${key}\":[0-9]")
+    message(FATAL_ERROR "stats: expected ${key} counter to be exported")
+  endif()
+endforeach()
+foreach(key "smt.db_core" "smt.db_tier2" "smt.db_local")
+  if(NOT out MATCHES "\"${key}\":[0-9]")
+    message(FATAL_ERROR "stats: expected ${key} gauge to be exported")
+  endif()
+endforeach()
